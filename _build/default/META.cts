@@ -1,0 +1,60 @@
+package "core" (
+  directory = "core"
+  version = "1.0.0"
+  description = ""
+  requires = "cts.numerics"
+  archive(byte) = "core.cma"
+  archive(native) = "core.cmxa"
+  plugin(byte) = "core.cma"
+  plugin(native) = "core.cmxs"
+)
+package "experiments" (
+  directory = "experiments"
+  version = "1.0.0"
+  description = ""
+  requires = "cts.core cts.numerics cts.queueing cts.stats cts.traffic"
+  archive(byte) = "experiments.cma"
+  archive(native) = "experiments.cmxa"
+  plugin(byte) = "experiments.cma"
+  plugin(native) = "experiments.cmxs"
+)
+package "numerics" (
+  directory = "numerics"
+  version = "1.0.0"
+  description = ""
+  requires = ""
+  archive(byte) = "numerics.cma"
+  archive(native) = "numerics.cmxa"
+  plugin(byte) = "numerics.cma"
+  plugin(native) = "numerics.cmxs"
+)
+package "queueing" (
+  directory = "queueing"
+  version = "1.0.0"
+  description = ""
+  requires = "cts.numerics cts.stats cts.traffic"
+  archive(byte) = "queueing.cma"
+  archive(native) = "queueing.cmxa"
+  plugin(byte) = "queueing.cma"
+  plugin(native) = "queueing.cmxs"
+)
+package "stats" (
+  directory = "stats"
+  version = "1.0.0"
+  description = ""
+  requires = "cts.numerics"
+  archive(byte) = "stats.cma"
+  archive(native) = "stats.cmxa"
+  plugin(byte) = "stats.cma"
+  plugin(native) = "stats.cmxs"
+)
+package "traffic" (
+  directory = "traffic"
+  version = "1.0.0"
+  description = ""
+  requires = "cts.numerics cts.stats"
+  archive(byte) = "traffic.cma"
+  archive(native) = "traffic.cmxa"
+  plugin(byte) = "traffic.cma"
+  plugin(native) = "traffic.cmxs"
+)

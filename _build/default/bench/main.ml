@@ -1,0 +1,97 @@
+(* The benchmark harness does two jobs:
+
+   1. Regenerates every table and figure of the paper (Table 1,
+      Figs. 1-10) plus the ablation studies, printing the series and
+      writing CSVs to ./results.  Simulation scale is controlled with
+      CTS_FRAMES / CTS_REPS / CTS_SEED (defaults: 20000 / 3 / 1996; the
+      paper used 500000 / 60).
+
+   2. Runs Bechamel micro-benchmarks of the library's hot paths - one
+      per table/figure-generating computation plus the core generators -
+      so performance regressions in the machinery itself are visible.
+
+   Skip the (slow) simulated figures with CTS_BENCH_ANALYTIC_ONLY=1;
+   skip the micro-benchmarks with CTS_BENCH_NO_MICRO=1. *)
+
+open Bechamel
+open Toolkit
+
+let env_flag name = Sys.getenv_opt name = Some "1"
+
+(* {2 Micro-benchmarks} *)
+
+let micro_tests () =
+  let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let dar3 = Traffic.Models.s ~a:0.975 ~p:3 in
+  let vg =
+    Core.Variance_growth.create ~acf:z.Traffic.Process.acf
+      ~variance:z.Traffic.Process.variance
+  in
+  let b_10ms = 134.5 in
+  let rng = Numerics.Rng.create ~seed:9 in
+  let dar_gen = dar3.Traffic.Process.spawn (Numerics.Rng.split rng) in
+  let fbndp_gen = z.Traffic.Process.spawn (Numerics.Rng.split rng) in
+  let fgn_rng = Numerics.Rng.split rng in
+  let acf_z = z.Traffic.Process.acf in
+  [
+    Test.make ~name:"cts_analyze_fresh_b10ms"
+      (Staged.stage (fun () ->
+           (* fresh variance-growth cache so the scan cost is measured *)
+           let vg' =
+             Core.Variance_growth.create ~acf:acf_z
+               ~variance:z.Traffic.Process.variance
+           in
+           Core.Cts.analyze vg' ~mu:500.0 ~c:538.0 ~b:b_10ms));
+    Test.make ~name:"cts_analyze_memoized"
+      (Staged.stage (fun () -> Core.Cts.analyze vg ~mu:500.0 ~c:538.0 ~b:b_10ms));
+    Test.make ~name:"bahadur_rao_n30"
+      (Staged.stage (fun () ->
+           Core.Bahadur_rao.evaluate vg ~mu:500.0 ~c:538.0 ~b:b_10ms ~n:30));
+    Test.make ~name:"dar_fit_p3"
+      (Staged.stage (fun () -> Traffic.Dar.fit ~target_acf:acf_z ~p:3));
+    Test.make ~name:"dar3_frame" (Staged.stage dar_gen);
+    Test.make ~name:"fbndp_frame" (Staged.stage fbndp_gen);
+    Test.make ~name:"fgn_block_4096"
+      (Staged.stage (fun () ->
+           Traffic.Fgn.sample_davies_harte fgn_rng ~h:0.9 ~n:4096));
+    Test.make ~name:"fluid_step"
+      (Staged.stage (fun () ->
+           Queueing.Fluid_mux.finite_buffer_step ~w:100.0 ~arrivals:520.0
+             ~service:538.0 ~buffer:4035.0));
+  ]
+
+let run_micro () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\n######## micro-benchmarks (ns/op) ########\n%!";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun sub ->
+          let name = Test.Elt.name sub in
+          let raw = Benchmark.run cfg instances sub in
+          match
+            Analyze.OLS.estimates (Analyze.one ols Instance.monotonic_clock raw)
+          with
+          | Some [ time ] -> Printf.printf "%-28s %12.1f\n%!" name time
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        (Test.elements test))
+    (micro_tests ())
+
+let () =
+  Printf.printf "CTS reproduction bench harness\n";
+  Printf.printf "scale: CTS_FRAMES=%d CTS_REPS=%d CTS_SEED=%d\n%!"
+    (Experiments.Common.frames ()) (Experiments.Common.reps ())
+    (Experiments.Common.seed ());
+  let t0 = Unix.gettimeofday () in
+  if env_flag "CTS_BENCH_ANALYTIC_ONLY" then
+    Experiments.Registry.run_all ~include_simulated:false ()
+  else Experiments.Registry.run_all ();
+  Printf.printf "\nexperiments completed in %.1f s\n%!"
+    (Unix.gettimeofday () -. t0);
+  if not (env_flag "CTS_BENCH_NO_MICRO") then run_micro ()

@@ -1,0 +1,270 @@
+(* Command-line driver for the paper-reproduction experiments. *)
+
+let set_env name = function
+  | None -> ()
+  | Some v -> Unix.putenv name (string_of_int v)
+
+let apply_scale ~frames ~reps ~seed ~results_dir =
+  set_env "CTS_FRAMES" frames;
+  set_env "CTS_REPS" reps;
+  set_env "CTS_SEED" seed;
+  match results_dir with
+  | None -> ()
+  | Some d -> Unix.putenv "CTS_RESULTS_DIR" d
+
+open Cmdliner
+
+let frames_arg =
+  let doc = "Frames per simulation replication (default 20000)." in
+  Arg.(value & opt (some int) None & info [ "frames" ] ~docv:"N" ~doc)
+
+let reps_arg =
+  let doc = "Simulation replications (default 3)." in
+  Arg.(value & opt (some int) None & info [ "reps" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Master random seed (default 1996)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let results_dir_arg =
+  let doc = "Directory for CSV outputs (default ./results)." in
+  Arg.(value & opt (some string) None & info [ "results-dir" ] ~docv:"DIR" ~doc)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-5s %s\n" "id" "sim" "title";
+    List.iter
+      (fun e ->
+        Printf.printf "%-12s %-5s %s\n" e.Experiments.Registry.id
+          (if e.Experiments.Registry.simulated then "yes" else "no")
+          e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids_arg =
+    let doc = "Experiment identifiers (see $(b,list)); 'all' runs everything." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run frames reps seed results_dir ids =
+    apply_scale ~frames ~reps ~seed ~results_dir;
+    let failures =
+      List.filter_map
+        (fun id ->
+          if id = "all" then begin
+            Experiments.Registry.run_all ();
+            None
+          end
+          else begin
+            match Experiments.Registry.find id with
+            | Some e ->
+                Printf.printf "\n######## %s: %s ########\n%!"
+                  e.Experiments.Registry.id e.Experiments.Registry.title;
+                e.Experiments.Registry.run ();
+                None
+            | None -> Some id
+          end)
+        ids
+    in
+    match failures with
+    | [] -> `Ok ()
+    | missing ->
+        `Error
+          (false, "unknown experiment(s): " ^ String.concat ", " missing)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one or more experiments")
+    Term.(
+      ret
+        (const run $ frames_arg $ reps_arg $ seed_arg $ results_dir_arg
+       $ ids_arg))
+
+let analytic_cmd =
+  let run frames reps seed results_dir =
+    apply_scale ~frames ~reps ~seed ~results_dir;
+    Experiments.Registry.run_all ~include_simulated:false ()
+  in
+  Cmd.v
+    (Cmd.info "analytic"
+       ~doc:"Run only the closed-form experiments (fast, deterministic)")
+    Term.(const run $ frames_arg $ reps_arg $ seed_arg $ results_dir_arg)
+
+(* Model selection shared by the engineering subcommands. *)
+let model_of_name name =
+  match String.lowercase_ascii name with
+  | "z0.7" -> Some (Traffic.Models.z ~a:0.7).Traffic.Models.process
+  | "z0.9" -> Some (Traffic.Models.z ~a:0.9).Traffic.Models.process
+  | "z0.975" -> Some (Traffic.Models.z ~a:0.975).Traffic.Models.process
+  | "z0.99" -> Some (Traffic.Models.z ~a:0.99).Traffic.Models.process
+  | "l" -> Some (Traffic.Models.l ())
+  | "dar1" -> Some (Traffic.Models.s ~a:0.975 ~p:1)
+  | "dar2" -> Some (Traffic.Models.s ~a:0.975 ~p:2)
+  | "dar3" -> Some (Traffic.Models.s ~a:0.975 ~p:3)
+  | "mpeg" -> Some (Traffic.Mpeg.process (Traffic.Mpeg.create ~mean:500.0 ()))
+  | _ -> None
+
+let model_names = "z0.7, z0.9, z0.975, z0.99, l, dar1, dar2, dar3, mpeg"
+
+let model_arg =
+  let doc = Printf.sprintf "Source model: one of %s." model_names in
+  Arg.(value & opt string "z0.975" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let n_arg =
+  let doc = "Number of multiplexed sources." in
+  Arg.(value & opt int 30 & info [ "n" ] ~docv:"N" ~doc)
+
+let c_arg =
+  let doc = "Bandwidth per source, cells/frame." in
+  Arg.(value & opt float 538.0 & info [ "c" ] ~docv:"CELLS" ~doc)
+
+let buffer_arg =
+  let doc = "Total buffer size as maximum drain delay, msec." in
+  Arg.(value & opt float 10.0 & info [ "buffer-msec" ] ~docv:"MSEC" ~doc)
+
+let analyze_cmd =
+  let run model_name n c buffer_msec =
+    match model_of_name model_name with
+    | None ->
+        `Error (false, Printf.sprintf "unknown model %S (try %s)" model_name model_names)
+    | Some model ->
+        let vg =
+          Core.Variance_growth.create ~acf:model.Traffic.Process.acf
+            ~variance:model.Traffic.Process.variance
+        in
+        let mu = model.Traffic.Process.mean in
+        let b =
+          Queueing.Units.buffer_cells_of_msec ~msec:buffer_msec
+            ~service_cells_per_frame:(float_of_int n *. c)
+            ~ts:Traffic.Models.ts
+          /. float_of_int n
+        in
+        if c <= mu then `Error (false, "unstable: bandwidth per source <= mean")
+        else begin
+          let br = Core.Bahadur_rao.evaluate vg ~mu ~c ~b ~n in
+          let ln = Core.Large_n.evaluate vg ~mu ~c ~b ~n in
+          Printf.printf "model          %s\n" model.Traffic.Process.name;
+          Printf.printf "sources        %d at c = %g cells/frame (util %.1f%%)\n"
+            n c (100.0 *. mu /. c);
+          Printf.printf "buffer         %g msec = %.0f cells total\n" buffer_msec
+            (b *. float_of_int n);
+          Printf.printf "CTS m*_b       %d frames\n"
+            br.Core.Bahadur_rao.cts.Core.Cts.m_star;
+          Printf.printf "rate I(c,b)    %.5f\n" br.Core.Bahadur_rao.cts.Core.Cts.rate;
+          Printf.printf "log10 BOP      %.3f (Bahadur-Rao)  %.3f (Large-N)\n"
+            br.Core.Bahadur_rao.log10_bop ln.Core.Large_n.log10_bop;
+          Printf.printf "cutoff freq    %.4f rad/frame (pi / m*)\n"
+            (Core.Spectrum.cutoff_frequency_of_cts
+               ~m_star:br.Core.Bahadur_rao.cts.Core.Cts.m_star);
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Critical time scale and overflow probability for one scenario")
+    Term.(ret (const run $ model_arg $ n_arg $ c_arg $ buffer_arg))
+
+let admit_cmd =
+  let capacity_arg =
+    let doc = "Total link capacity, cells/frame." in
+    Arg.(value & opt float 16140.0 & info [ "capacity" ] ~docv:"CELLS" ~doc)
+  in
+  let target_arg =
+    let doc = "Target cell loss rate." in
+    Arg.(value & opt float 1e-6 & info [ "clr" ] ~docv:"CLR" ~doc)
+  in
+  let run model_name capacity buffer_msec target_clr =
+    match model_of_name model_name with
+    | None ->
+        `Error (false, Printf.sprintf "unknown model %S (try %s)" model_name model_names)
+    | Some model ->
+        let vg =
+          Core.Variance_growth.create ~acf:model.Traffic.Process.acf
+            ~variance:model.Traffic.Process.variance
+        in
+        let total_buffer =
+          Queueing.Units.buffer_cells_of_msec ~msec:buffer_msec
+            ~service_cells_per_frame:capacity ~ts:Traffic.Models.ts
+        in
+        let n =
+          Core.Admission.max_admissible vg ~mu:model.Traffic.Process.mean
+            ~total_capacity:capacity ~total_buffer ~target_clr
+        in
+        Printf.printf
+          "%d %s connections admissible on %g cells/frame with %g msec buffer \
+           at CLR <= %g\n"
+          n model.Traffic.Process.name capacity buffer_msec target_clr;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "admit"
+       ~doc:"Connection admission count for a link, buffer and CLR target")
+    Term.(ret (const run $ model_arg $ capacity_arg $ buffer_arg $ target_arg))
+
+let simulate_cmd =
+  let frames_sim_arg =
+    let doc = "Frames to simulate." in
+    Arg.(value & opt int 50_000 & info [ "frames" ] ~docv:"N" ~doc)
+  in
+  let reps_sim_arg =
+    let doc = "Independent replications." in
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"N" ~doc)
+  in
+  let seed_sim_arg =
+    let doc = "Random seed." in
+    Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run model_name n c buffer_msec frames reps seed =
+    match model_of_name model_name with
+    | None ->
+        `Error (false, Printf.sprintf "unknown model %S (try %s)" model_name model_names)
+    | Some model ->
+        let scenario =
+          Queueing.Scenario.make ~model ~n ~c ~ts:Traffic.Models.ts
+        in
+        let intervals =
+          Queueing.Scenario.clr_curve scenario ~buffers_msec:[| buffer_msec |]
+            ~frames ~reps ~seed
+        in
+        let ci = intervals.(0) in
+        Printf.printf
+          "%s x%d at c = %g, buffer %g msec: CLR = %.3e (95%% CI +/- %.1e, %d \
+           x %d frames)\n"
+          model.Traffic.Process.name n c buffer_msec ci.Stats.Ci.point
+          ci.Stats.Ci.half_width reps frames;
+        (match
+           Core.Bahadur_rao.evaluate
+             (Core.Variance_growth.create ~acf:model.Traffic.Process.acf
+                ~variance:model.Traffic.Process.variance)
+             ~mu:model.Traffic.Process.mean ~c
+             ~b:
+               (Queueing.Units.buffer_cells_of_msec ~msec:buffer_msec
+                  ~service_cells_per_frame:(float_of_int n *. c)
+                  ~ts:Traffic.Models.ts
+               /. float_of_int n)
+             ~n
+         with
+        | r ->
+            Printf.printf "Bahadur-Rao estimate: %.3e (infinite-buffer BOP)\n"
+              r.Core.Bahadur_rao.bop
+        | exception Invalid_argument _ -> ());
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate one multiplexer scenario directly")
+    Term.(
+      ret
+        (const run $ model_arg $ n_arg $ c_arg $ buffer_arg $ frames_sim_arg
+       $ reps_sim_arg $ seed_sim_arg))
+
+let main =
+  let doc =
+    "Reproduction of Ryu & Elwalid (SIGCOMM '96): LRD of VBR video in ATM \
+     traffic engineering"
+  in
+  Cmd.group
+    (Cmd.info "cts" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; analytic_cmd; analyze_cmd; admit_cmd; simulate_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/admission_control.ml: Core List Printf Queueing Traffic

@@ -1,0 +1,1 @@
+examples/hurst_estimation.ml: List Numerics Printf Stats Traffic

@@ -1,0 +1,1 @@
+examples/hurst_estimation.mli:

@@ -1,0 +1,1 @@
+examples/mixed_traffic.ml: Core List Numerics Printf Queueing Traffic

@@ -1,0 +1,1 @@
+examples/model_fitting.ml: Array List Numerics Printf Queueing String Traffic

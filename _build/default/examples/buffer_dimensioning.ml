@@ -1,0 +1,67 @@
+(* Buffer dimensioning: the delay/bandwidth trade-off behind the
+   paper's "realistic scenarios".
+
+   Real-time video allows ~200 msec end to end, so each hop gets
+   20-30 msec.  For a range of per-hop delay budgets this example
+   computes, per model, the link bandwidth needed to carry 30 calls at
+   a 1e-6 cell loss rate, and the implied utilisation.  It shows (i)
+   why small buffers are the operating regime that matters, and (ii)
+   that the required bandwidth computed from the Markov fit matches the
+   LRD model's.
+
+   Run with: dune exec examples/buffer_dimensioning.exe *)
+
+let n = 30
+let target_clr = 1e-6
+let mu = Traffic.Models.frame_mean
+
+let required_bandwidth process ~delay_msec =
+  let vg =
+    Core.Variance_growth.create ~acf:process.Traffic.Process.acf
+      ~variance:process.Traffic.Process.variance
+  in
+  (* The buffer in cells depends on the capacity we are solving for, so
+     iterate the fixed point: B = capacity * delay; capacity =
+     required(B).  A handful of rounds converges far below a cell. *)
+  let rec fixed_point capacity iter =
+    let total_buffer =
+      capacity *. (delay_msec /. 1000.0) /. Traffic.Models.ts
+    in
+    let next =
+      Core.Admission.required_capacity vg ~mu ~n ~total_buffer ~target_clr
+    in
+    if iter > 20 || Float.abs (next -. capacity) < 0.01 then next
+    else fixed_point next (iter + 1)
+  in
+  fixed_point (float_of_int n *. mu *. 1.2) 0
+
+let () =
+  let models =
+    [
+      ("Z^0.975 (LRD)", (Traffic.Models.z ~a:0.975).Traffic.Models.process);
+      ("DAR(3) fit", Traffic.Models.s ~a:0.975 ~p:3);
+      ("L (exact LRD)", Traffic.Models.l ());
+    ]
+  in
+  Printf.printf
+    "Bandwidth to carry %d calls at CLR <= %.0e (mean load %.0f cells/frame)\n\n"
+    n target_clr
+    (float_of_int n *. mu);
+  Printf.printf "%-16s" "delay budget:";
+  List.iter (fun d -> Printf.printf " %11g ms" d) [ 1.0; 5.0; 10.0; 20.0; 30.0 ];
+  print_newline ();
+  List.iter
+    (fun (name, process) ->
+      Printf.printf "%-16s" name;
+      List.iter
+        (fun delay_msec ->
+          let capacity = required_bandwidth process ~delay_msec in
+          let util = float_of_int n *. mu /. capacity in
+          Printf.printf " %7.0f (%2.0f%%)" capacity (100.0 *. util))
+        [ 1.0; 5.0; 10.0; 20.0; 30.0 ];
+      print_newline ())
+    models;
+  Printf.printf
+    "\nEach cell shows required capacity in cells/frame (and utilisation).\n\
+     Tight delay budgets waste bandwidth on every model; the Markov fit\n\
+     prices the LRD source correctly throughout the practical range.\n"

@@ -1,0 +1,52 @@
+(* Hurst-parameter estimation: reproduce the kind of measurement-study
+   evidence (Beran et al.) that started the LRD debate.
+
+   We generate frame traces from four generators with known Hurst
+   parameters - white noise, the paper's Z^0.7 model, pure fractional
+   Gaussian noise, and an M/G/infinity session process - and run the
+   three classical estimators on each.
+
+   Run with: dune exec examples/hurst_estimation.exe *)
+
+let n = 65536
+
+let traces () =
+  let rng = Numerics.Rng.create ~seed:2024 in
+  let spawn process =
+    Traffic.Process.generate process (Numerics.Rng.split rng) n
+  in
+  [
+    ("DAR(1)", 0.5, spawn (Traffic.Models.s ~a:0.7 ~p:1), "(SRD Markov: H = 1/2)");
+    ( "Z^0.7",
+      0.9,
+      spawn (Traffic.Models.z ~a:0.7).Traffic.Models.process,
+      "(paper's LRD video model)" );
+    ( "fGn(0.8)",
+      0.8,
+      spawn (Traffic.Fgn.process ~h:0.8 ~mean:500.0 ~variance:5000.0 ()),
+      "(exact self-similar reference)" );
+    ( "M/G/inf",
+      0.75,
+      spawn
+        (Traffic.Mg_infinity.process
+           (Traffic.Mg_infinity.create ~beta:1.5 ~session_rate:5.0
+              ~cells_per_session:25.0 ())),
+      "(heavy-tailed sessions, H = (3-beta)/2)" );
+  ]
+
+let () =
+  Printf.printf "%-12s %-7s %-11s %-11s %-13s %s\n" "trace" "true H" "R/S"
+    "agg.var" "periodogram" "";
+  List.iter
+    (fun (name, true_h, x, note) ->
+      let rs = Stats.Hurst.rescaled_range x in
+      let av = Stats.Hurst.aggregated_variance x in
+      let pg = Stats.Hurst.periodogram x in
+      Printf.printf "%-12s %-7.2f %-11.3f %-11.3f %-13.3f %s\n" name true_h
+        rs.Stats.Hurst.h av.Stats.Hurst.h pg.Stats.Hurst.h note)
+    (traces ());
+  Printf.printf
+    "\nNote the estimators' well-known biases (R/S upward on SRD data,\n\
+     aggregated variance downward at high H).  The library exposes the\n\
+     regression diagnostics (points, r^2) behind each estimate for\n\
+     plotting.\n"

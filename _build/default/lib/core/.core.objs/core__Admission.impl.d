@@ -1,0 +1,1 @@
+lib/core/admission.ml: Bahadur_rao

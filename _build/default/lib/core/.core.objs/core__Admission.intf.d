@@ -1,0 +1,1 @@
+lib/core/admission.mli: Variance_growth

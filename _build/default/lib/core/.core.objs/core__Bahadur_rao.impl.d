@@ -1,0 +1,1 @@
+lib/core/bahadur_rao.ml: Array Cts

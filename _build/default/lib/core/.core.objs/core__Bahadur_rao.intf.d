@@ -1,0 +1,1 @@
+lib/core/bahadur_rao.mli: Cts Variance_growth

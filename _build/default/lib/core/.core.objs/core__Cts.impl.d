@@ -1,0 +1,1 @@
+lib/core/cts.ml: Array Numerics Printf Variance_growth

@@ -1,0 +1,1 @@
+lib/core/cts.mli: Variance_growth

@@ -1,0 +1,1 @@
+lib/core/large_n.ml: Array Cts

@@ -1,0 +1,1 @@
+lib/core/large_n.mli: Cts Variance_growth

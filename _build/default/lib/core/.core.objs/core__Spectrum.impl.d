@@ -1,0 +1,1 @@
+lib/core/spectrum.ml: Array Cts Numerics Variance_growth

@@ -1,0 +1,1 @@
+lib/core/variance_growth.ml: Array Numerics

@@ -1,0 +1,1 @@
+lib/core/variance_growth.mli:

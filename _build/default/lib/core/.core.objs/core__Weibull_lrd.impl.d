@@ -1,0 +1,1 @@
+lib/core/weibull_lrd.ml:

@@ -1,0 +1,56 @@
+let bop_ok vg ~mu ~total_capacity ~total_buffer ~target_clr ~n =
+  let c = total_capacity /. float_of_int n in
+  if c <= mu then false
+  else begin
+    let b = total_buffer /. float_of_int n in
+    let result = Bahadur_rao.evaluate vg ~mu ~c ~b ~n in
+    result.Bahadur_rao.log10_bop <= log10 target_clr
+  end
+
+let max_admissible vg ~mu ~total_capacity ~total_buffer ~target_clr =
+  assert (target_clr > 0.0 && target_clr < 1.0);
+  assert (total_capacity > 0.0 && total_buffer >= 0.0 && mu > 0.0);
+  let ceiling = int_of_float (ceil (total_capacity /. mu)) - 1 in
+  if ceiling < 1 then 0
+  else if not (bop_ok vg ~mu ~total_capacity ~total_buffer ~target_clr ~n:1)
+  then 0
+  else begin
+    (* BOP is increasing in n at fixed C, so feasibility is a prefix
+       property: binary search for the last feasible n. *)
+    let rec bisect lo hi =
+      (* invariant: lo feasible, hi + 1 infeasible or hi = ceiling *)
+      if lo >= hi then lo
+      else begin
+        let mid = lo + ((hi - lo + 1) / 2) in
+        if bop_ok vg ~mu ~total_capacity ~total_buffer ~target_clr ~n:mid then
+          bisect mid hi
+        else bisect lo (mid - 1)
+      end
+    in
+    bisect 1 ceiling
+  end
+
+let required_capacity vg ~mu ~n ~total_buffer ~target_clr =
+  assert (n >= 1 && target_clr > 0.0 && target_clr < 1.0);
+  let mean_load = float_of_int n *. mu in
+  (* Bracket: BOP decreases as capacity grows. *)
+  let ok capacity =
+    bop_ok vg ~mu ~total_capacity:capacity ~total_buffer ~target_clr ~n
+  in
+  let rec upper capacity =
+    if ok capacity then capacity else upper (capacity *. 2.0)
+  in
+  let hi = upper (mean_load *. 1.01) in
+  let lo = if hi = mean_load *. 1.01 then mean_load else hi /. 2.0 in
+  (* Bisection to 0.01 cells/frame on the total capacity. *)
+  let rec bisect lo hi =
+    if hi -. lo <= 0.01 then hi
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if ok mid then bisect lo mid else bisect mid hi
+    end
+  in
+  bisect lo hi
+
+let effective_bandwidth_per_source vg ~mu ~n ~total_buffer ~target_clr =
+  required_capacity vg ~mu ~n ~total_buffer ~target_clr /. float_of_int n

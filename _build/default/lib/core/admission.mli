@@ -1,0 +1,41 @@
+(** Connection admission control built on the Bahadur–Rao estimate —
+    the paper's motivating application (real-time CAC for VBR video,
+    cf. Elwalid et al.).
+
+    All searches treat the link capacity [C] and total buffer [B] as
+    fixed and exploit the monotonicity of the BOP in N (more sources
+    at fixed C means less spare bandwidth per source). *)
+
+val max_admissible :
+  Variance_growth.t ->
+  mu:float ->
+  total_capacity:float ->
+  total_buffer:float ->
+  target_clr:float ->
+  int
+(** Largest [N] with Bahadur–Rao BOP at most [target_clr]; 0 when even
+    a single source misses the target.  Binary search over
+    [1 .. floor(C / mu) - 1] (the stability limit). *)
+
+val required_capacity :
+  Variance_growth.t ->
+  mu:float ->
+  n:int ->
+  total_buffer:float ->
+  target_clr:float ->
+  float
+(** Smallest total link capacity that carries [n] sources within
+    [target_clr] — the aggregate effective bandwidth.  Bisection on
+    capacity between the mean load (infinite BOP) and the peak-ish
+    upper bracket obtained by doubling. *)
+
+val effective_bandwidth_per_source :
+  Variance_growth.t ->
+  mu:float ->
+  n:int ->
+  total_buffer:float ->
+  target_clr:float ->
+  float
+(** [required_capacity / n]: the per-source effective bandwidth, in
+    cells/frame.  Between the mean and the equivalent-peak as expected
+    of any sane effective bandwidth. *)

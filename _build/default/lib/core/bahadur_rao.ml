@@ -1,0 +1,26 @@
+type result = {
+  log10_bop : float;
+  bop : float;
+  cts : Cts.analysis;
+}
+
+let log10_e = log10 (exp 1.0)
+let pi = 4.0 *. atan 1.0
+
+let evaluate vg ~mu ~c ~b ~n =
+  assert (n >= 1);
+  let cts = Cts.analyze vg ~mu ~c ~b in
+  let nf = float_of_int n in
+  let exponent_nats =
+    (-.nf *. cts.Cts.rate) -. (0.5 *. log (4.0 *. pi *. nf *. cts.Cts.rate))
+  in
+  let log10_bop = exponent_nats *. log10_e in
+  { log10_bop; bop = exp exponent_nats; cts }
+
+let evaluate_total vg ~mu ~total_capacity ~total_buffer ~n =
+  assert (n >= 1);
+  let nf = float_of_int n in
+  evaluate vg ~mu ~c:(total_capacity /. nf) ~b:(total_buffer /. nf) ~n
+
+let curve vg ~mu ~c ~n ~buffers =
+  Array.map (fun b -> (b, evaluate vg ~mu ~c ~b ~n)) buffers

@@ -1,0 +1,44 @@
+type analysis = { m_star : int; rate : float; scanned_up_to : int }
+
+let objective vg ~mu ~c ~b m =
+  assert (m >= 1);
+  let drift = b +. (float_of_int m *. (c -. mu)) in
+  drift *. drift /. (2.0 *. Variance_growth.v vg m)
+
+let analyze ?(margin = 8) vg ~mu ~c ~b =
+  if not (c > mu) then
+    invalid_arg
+      (Printf.sprintf "Cts.analyze: need c > mu (got c = %g, mu = %g)" c mu);
+  if not (b >= 0.0) then invalid_arg "Cts.analyze: negative buffer";
+  let argmin_so_far = ref 1 in
+  let f m =
+    let value = objective vg ~mu ~c ~b m in
+    value
+  in
+  let best_value = ref (f 1) in
+  let result =
+    Numerics.Optimize.integer_argmin ~f ~lo:1
+      ~stop:(fun ~best ~at ~current ->
+        if best < !best_value then begin
+          best_value := best;
+          argmin_so_far := at
+        end;
+        (* The objective diverges whenever V(m) = o(m^2), so it always
+           eventually doubles its minimum; requiring in addition that we
+           are well past the running argmin guards against shallow local
+           wiggles near the minimum. *)
+        current > 2.0 *. best && at > (margin * !argmin_so_far) + 64)
+      ()
+  in
+  {
+    m_star = result.Numerics.Optimize.argmin;
+    rate = result.Numerics.Optimize.minimum;
+    scanned_up_to = result.Numerics.Optimize.scanned_up_to;
+  }
+
+let curve ?margin vg ~mu ~c ~buffers =
+  Array.map (fun b -> (b, analyze ?margin vg ~mu ~c ~b)) buffers
+
+let lrd_closed_form ~h ~mu ~c ~b =
+  assert (h > 0.0 && h < 1.0 && c > mu && b >= 0.0);
+  h *. b /. ((1.0 -. h) *. (c -. mu))

@@ -1,0 +1,52 @@
+type t = {
+  acf_table : float array;  (** r(0) .. r(max_lag) *)
+  variance : float;
+}
+
+let create ~acf ~variance ?(max_lag = 8192) () =
+  assert (variance > 0.0 && max_lag >= 1);
+  let acf_table =
+    Array.init (max_lag + 1) (fun k -> if k = 0 then 1.0 else acf k)
+  in
+  { acf_table; variance }
+
+let psd t w =
+  assert (w > 0.0 && w <= 4.0 *. atan 1.0 +. 1e-12);
+  (* Kahan-compensated cosine sum: the terms alternate in sign and the
+     LRD tail decays slowly, so naive summation loses digits. *)
+  let acc = ref 0.0 and comp = ref 0.0 in
+  for k = 1 to Array.length t.acf_table - 1 do
+    let term = t.acf_table.(k) *. cos (float_of_int k *. w) in
+    let y = term -. !comp in
+    let s = !acc +. y in
+    comp := s -. !acc -. y;
+    acc := s
+  done;
+  t.variance *. (1.0 +. (2.0 *. !acc))
+
+let total_power t = t.variance
+
+let low_frequency_power t ~below =
+  let pi = 4.0 *. atan 1.0 in
+  assert (below > 0.0 && below <= pi);
+  (* Spectral mass in [-below, below] relative to total:
+     (1/pi) integral_0^below S(w) dw / sigma^2.  Guard the w -> 0
+     endpoint (the sum converges but slowly) by starting the
+     integration a hair above zero. *)
+  let lo = below *. 1e-6 in
+  let integral =
+    Numerics.Quadrature.adaptive_simpson ~f:(fun w -> psd t w) ~lo ~hi:below
+      ~tol:(1e-6 *. t.variance)
+  in
+  integral /. (pi *. t.variance)
+
+let cutoff_frequency_of_cts ~m_star =
+  assert (m_star >= 1);
+  4.0 *. atan 1.0 /. float_of_int m_star
+
+let cutoff_frequency t ~mu ~c ~b =
+  let vg =
+    Variance_growth.of_acf_array ~acf:t.acf_table ~variance:t.variance
+  in
+  let analysis = Cts.analyze vg ~mu ~c ~b in
+  cutoff_frequency_of_cts ~m_star:analysis.Cts.m_star

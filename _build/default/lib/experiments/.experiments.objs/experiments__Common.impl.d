@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Core Filename Float List Numerics Printf Queueing Stats String Sys Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Array Ascii_plot Common Core Numerics Option Printf Queueing Stdlib Traffic

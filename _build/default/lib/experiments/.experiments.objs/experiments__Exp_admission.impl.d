@@ -1,0 +1,1 @@
+lib/experiments/exp_admission.ml: Array Ascii_plot Common Core List Printf Queueing Stdlib Traffic

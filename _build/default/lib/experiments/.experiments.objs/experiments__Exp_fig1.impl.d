@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Ascii_plot Common List Printf Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Array Ascii_plot Common Core Exp_fig8 Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Array Ascii_plot Common Float List Numerics Printf Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Ascii_plot Common List Printf Traffic

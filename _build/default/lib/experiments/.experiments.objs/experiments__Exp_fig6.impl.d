@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Ascii_plot Common List Printf Traffic

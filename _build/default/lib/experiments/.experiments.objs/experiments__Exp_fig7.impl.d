@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Array Ascii_plot Common Float List Printf Traffic

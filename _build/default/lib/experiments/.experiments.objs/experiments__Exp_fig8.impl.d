@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Ascii_plot Common List Printf Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Ascii_plot Common Exp_fig8 List Printf Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_marginals.ml: Ascii_plot Common List Printf Traffic

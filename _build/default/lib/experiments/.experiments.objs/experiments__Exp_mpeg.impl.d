@@ -1,0 +1,1 @@
+lib/experiments/exp_mpeg.ml: Array Ascii_plot Common Traffic

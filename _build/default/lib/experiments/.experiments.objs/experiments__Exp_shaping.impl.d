@@ -1,0 +1,1 @@
+lib/experiments/exp_shaping.ml: Array Ascii_plot Common Core List Printf Traffic

@@ -1,0 +1,1 @@
+lib/experiments/exp_spectrum.ml: Array Ascii_plot Common Core List Numerics Printf Traffic

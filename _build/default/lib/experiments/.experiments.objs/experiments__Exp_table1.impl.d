@@ -1,0 +1,1 @@
+lib/experiments/exp_table1.ml: Array Common Filename List Printf String Sys Traffic

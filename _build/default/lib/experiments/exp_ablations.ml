@@ -1,0 +1,144 @@
+let buffers_msec = Common.practical_buffers_msec
+
+let figure_weibull () =
+  let n = Common.n_main and c = Common.c_main in
+  let fgn_h = 0.86 in
+  let fgn =
+    Traffic.Fgn.process ~h:fgn_h ~mean:Common.mu ~variance:Common.sigma2 ()
+  in
+  let l = Traffic.Models.l () in
+  let l_params = Traffic.Models.l_params () in
+  let weibull_series label source =
+    Common.series ~label
+      (Array.map
+         (fun msec ->
+           let b = Common.buffer_cells_per_source ~msec ~n ~c in
+           (msec, Core.Weibull_lrd.log10_bop source ~c ~b ~n))
+         buffers_msec)
+  in
+  [
+    Common.bop_series ~label:"fGn B-R" fgn ~n ~c ~buffers_msec;
+    weibull_series "fGn Weibull"
+      { Core.Weibull_lrd.h = fgn_h; g = 1.0; mu = Common.mu; variance = Common.sigma2 };
+    Common.bop_series ~label:"L B-R" l ~n ~c ~buffers_msec;
+    weibull_series "L Weibull"
+      {
+        Core.Weibull_lrd.h = Traffic.Fbndp.hurst l_params;
+        g = Traffic.Fbndp.g_factor l_params ~ts:Common.ts;
+        mu = Common.mu;
+        variance = Common.sigma2;
+      };
+  ]
+  |> fun series ->
+  {
+    Common.id = "ablation_weibull";
+    title = "Closed-form Weibull (eq. 6) vs numeric Bahadur-Rao (N=30, c=538)";
+    xlabel = "buffer msec";
+    ylabel = "log10 P(W > B)";
+    series;
+  }
+
+let figure_cts_closed_form () =
+  let n = Common.n_main and c = Common.c_main in
+  let l = Traffic.Models.l () in
+  let h = Option.get l.Traffic.Process.hurst in
+  let vg = Common.variance_growth l in
+  let exact =
+    Common.series ~label:"exact m*"
+      (Array.map
+         (fun msec ->
+           let b = Common.buffer_cells_per_source ~msec ~n ~c in
+           let a = Core.Cts.analyze vg ~mu:Common.mu ~c ~b in
+           (msec, float_of_int a.Core.Cts.m_star))
+         buffers_msec)
+  in
+  let closed =
+    Common.series ~label:"H b/((1-H)(c-mu))"
+      (Array.map
+         (fun msec ->
+           let b = Common.buffer_cells_per_source ~msec ~n ~c in
+           (msec, Core.Cts.lrd_closed_form ~h ~mu:Common.mu ~c ~b))
+         buffers_msec)
+  in
+  {
+    Common.id = "ablation_cts_closed_form";
+    title = "CTS of L: integer minimiser vs Appendix closed form";
+    xlabel = "buffer msec";
+    ylabel = "m*";
+    series = [ exact; closed ];
+  }
+
+let fluid_vs_cell () =
+  (* A small, loss-heavy scenario so the exact cell simulator finishes
+     quickly: 10 DAR(1) sources at 93% utilisation. *)
+  let model = Traffic.Models.s ~a:0.975 ~p:1 in
+  let n = 10 and c = 538.0 in
+  let frames = Stdlib.min (Common.frames ()) 20_000 in
+  let service = float_of_int n *. c in
+  let buffers = [| 1.0; 4.0; 10.0; 20.0 |] in
+  Array.map
+    (fun msec ->
+      let total_cells =
+        Queueing.Units.buffer_cells_of_msec ~msec
+          ~service_cells_per_frame:service ~ts:Common.ts
+      in
+      let rng = Numerics.Rng.create ~seed:(Common.seed ()) in
+      let aggregate =
+        (Traffic.Process.replicate model n).Traffic.Process.spawn
+          (Numerics.Rng.jump_to_substream rng 0)
+      in
+      let fluid =
+        Queueing.Fluid_mux.clr ~next_frame:aggregate ~service
+          ~buffer:total_cells ~frames ()
+      in
+      let rng = Numerics.Rng.create ~seed:(Common.seed ()) in
+      let sources =
+        Array.init n (fun i ->
+            model.Traffic.Process.spawn
+              (Numerics.Rng.jump_to_substream
+                 (Numerics.Rng.jump_to_substream rng 0)
+                 i))
+      in
+      let cell =
+        Queueing.Cell_mux.clr ~sources ~service_cells_per_frame:service
+          ~buffer_cells:(int_of_float total_cells)
+          ~ts:Common.ts ~frames ()
+      in
+      (msec, fluid.Queueing.Fluid_mux.clr, cell.Queueing.Cell_mux.clr))
+    buffers
+
+let figure_marginal () =
+  let n = Common.n_main and c = Common.c_main in
+  let base = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let scaled_variance factor =
+    (* Same ACF, scaled variance: emulates a heavier marginal while
+       keeping second-order structure. *)
+    {
+      base with
+      Traffic.Process.name = Printf.sprintf "var x%g" factor;
+      variance = base.Traffic.Process.variance *. factor;
+    }
+  in
+  let series factor =
+    let p = scaled_variance factor in
+    Common.cts_series
+      ~label:(Printf.sprintf "sigma^2 x%g" factor)
+      p ~n ~c ~buffers_msec
+  in
+  {
+    Common.id = "ablation_marginal";
+    title = "CTS sensitivity to marginal variance (Z^0.975 ACF held fixed)";
+    xlabel = "buffer msec";
+    ylabel = "m*";
+    series = [ series 0.5; series 1.0; series 2.0 ];
+  }
+
+let run () =
+  Ascii_plot.emit (figure_weibull ());
+  Ascii_plot.emit (figure_cts_closed_form ());
+  Printf.printf "\n== ablation_fluid_vs_cell: fluid vs exact cell-level CLR ==\n";
+  Printf.printf "%-12s %-14s %-14s\n" "buffer msec" "fluid CLR" "cell CLR";
+  Array.iter
+    (fun (b, f, c) -> Printf.printf "%-12g %-14.3e %-14.3e\n" b f c)
+    (fluid_vs_cell ());
+  Ascii_plot.emit (figure_marginal ())

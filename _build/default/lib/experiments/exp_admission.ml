@@ -1,0 +1,64 @@
+let link_capacity = 16140.0
+let buffers_msec = [| 2.0; 5.0; 10.0; 15.0; 20.0; 25.0; 30.0 |]
+
+let models () =
+  ("Z^0.975", (Traffic.Models.z ~a:0.975).Traffic.Models.process)
+  :: List.map
+       (fun p -> (Printf.sprintf "DAR(%d)" p, Traffic.Models.s ~a:0.975 ~p))
+       [ 1; 2; 3 ]
+  @ [ ("L", Traffic.Models.l ()) ]
+
+let admissible process ~buffer_msec ~target_clr =
+  let vg = Common.variance_growth process in
+  let total_buffer =
+    Queueing.Units.buffer_cells_of_msec ~msec:buffer_msec
+      ~service_cells_per_frame:link_capacity ~ts:Common.ts
+  in
+  Core.Admission.max_admissible vg ~mu:process.Traffic.Process.mean
+    ~total_capacity:link_capacity ~total_buffer ~target_clr
+
+let figure ~target_clr =
+  {
+    Common.id = Printf.sprintf "admission_%g" (-.log10 target_clr);
+    title =
+      Printf.sprintf
+        "Admissible connections on a %.0f cells/frame link, CLR <= %g"
+        link_capacity target_clr;
+    xlabel = "buffer msec";
+    ylabel = "max connections";
+    series =
+      List.map
+        (fun (label, process) ->
+          Common.series ~label
+            (Array.map
+               (fun buffer_msec ->
+                 ( buffer_msec,
+                   float_of_int (admissible process ~buffer_msec ~target_clr) ))
+               buffers_msec))
+        (models ());
+  }
+
+let max_count_gap ~target_clr =
+  let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let gap = ref 0 in
+  List.iter
+    (fun p ->
+      let dar = Traffic.Models.s ~a:0.975 ~p in
+      Array.iter
+        (fun buffer_msec ->
+          let nz = admissible z ~buffer_msec ~target_clr in
+          let nd = admissible dar ~buffer_msec ~target_clr in
+          gap := Stdlib.max !gap (abs (nz - nd)))
+        buffers_msec)
+    [ 1; 2; 3 ];
+  !gap
+
+let run () =
+  List.iter
+    (fun target_clr ->
+      Ascii_plot.emit (figure ~target_clr);
+      Printf.printf
+        "largest DAR(p) vs Z^0.975 admission gap at CLR %g: %d connections\n"
+        target_clr
+        (max_count_gap ~target_clr))
+    [ 1e-6; 1e-9 ]

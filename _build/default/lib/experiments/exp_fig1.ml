@@ -1,0 +1,35 @@
+let lags = Array.init 30 (fun i -> i + 1)
+
+let figure_z () =
+  {
+    Common.id = "fig1_z";
+    title = "Effect of a on the ACF of Z^a (short lags move, tail fixed)";
+    xlabel = "lag k";
+    ylabel = "r(k)";
+    series =
+      List.map
+        (fun a ->
+          Common.acf_series
+            ~label:(Printf.sprintf "Z^%g" a)
+            (Traffic.Models.z ~a).Traffic.Models.process ~lags)
+        [ 0.7; 0.99 ];
+  }
+
+let figure_v () =
+  {
+    Common.id = "fig1_v";
+    title = "Effect of v on the ACF of V^v (tail weight moves, short lags fixed)";
+    xlabel = "lag k";
+    ylabel = "r(k)";
+    series =
+      List.map
+        (fun v ->
+          Common.acf_series
+            ~label:(Printf.sprintf "V^%g" v)
+            (Traffic.Models.v ~v).Traffic.Models.process ~lags)
+        [ 0.67; 1.5 ];
+  }
+
+let run () =
+  Ascii_plot.emit (figure_z ());
+  Ascii_plot.emit (figure_v ())

@@ -1,0 +1,45 @@
+let buffers_msec = Exp_fig8.buffers_msec
+
+let figure () =
+  let model = Traffic.Models.s ~a:0.975 ~p:1 in
+  let vg = Common.variance_growth model in
+  let analytic evaluate label =
+    Common.series ~label
+      (Array.map
+         (fun msec ->
+           let b =
+             Common.buffer_cells_per_source ~msec ~n:Common.n_main
+               ~c:Common.c_main
+           in
+           (msec, evaluate ~b))
+         buffers_msec)
+  in
+  let br =
+    analytic
+      (fun ~b ->
+        (Core.Bahadur_rao.evaluate vg ~mu:Common.mu ~c:Common.c_main ~b
+           ~n:Common.n_main)
+          .Core.Bahadur_rao.log10_bop)
+      "Bahadur-Rao"
+  in
+  let ln =
+    analytic
+      (fun ~b ->
+        (Core.Large_n.evaluate vg ~mu:Common.mu ~c:Common.c_main ~b
+           ~n:Common.n_main)
+          .Core.Large_n.log10_bop)
+      "Large-N"
+  in
+  let sim =
+    Common.clr_sim_series ~frames_scale:10 ~label:"simulated CLR" model
+      ~n:Common.n_main ~c:Common.c_main ~buffers_msec
+  in
+  {
+    Common.id = "fig10";
+    title = "Asymptotics vs simulation: DAR(1) matched to Z^0.975 (N=30, c=538)";
+    xlabel = "buffer msec";
+    ylabel = "log10 probability";
+    series = [ br; ln; sim ];
+  }
+
+let run () = Ascii_plot.emit (figure ())

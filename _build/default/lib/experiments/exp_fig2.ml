@@ -1,0 +1,78 @@
+let n_sources = 10
+let path_frames = 1000
+let stats_frames = 65536
+
+type summary = {
+  label : string;
+  mean : float;
+  std : float;
+  hurst_rs : float;
+  hurst_var : float;
+}
+
+let models () =
+  let z = (Traffic.Models.z ~a:0.7).Traffic.Models.process in
+  let dar =
+    let params = Traffic.Models.s_params ~a:0.7 ~p:1 in
+    let marginal =
+      Traffic.Dar.gaussian_marginal ~mean:Common.mu ~variance:Common.sigma2
+    in
+    Traffic.Dar.make ~name:"DAR(1) matched" marginal params
+  in
+  [ ("Z^0.7 x10", Traffic.Process.replicate z n_sources);
+    ("DAR(1) x10", Traffic.Process.replicate dar n_sources) ]
+
+let figure () =
+  let rng = Numerics.Rng.create ~seed:(Common.seed ()) in
+  let series =
+    List.map
+      (fun (label, aggregate) ->
+        let path =
+          Traffic.Process.generate aggregate (Numerics.Rng.split rng) path_frames
+        in
+        Common.series ~label
+          (Array.mapi (fun i x -> (float_of_int i, x)) path))
+      (models ())
+  in
+  {
+    Common.id = "fig2";
+    title =
+      Printf.sprintf "Sample paths, %d multiplexed sources (%d frames)"
+        n_sources path_frames;
+    xlabel = "frame";
+    ylabel = "aggregate cells/frame";
+    series;
+  }
+
+let summaries () =
+  let rng = Numerics.Rng.create ~seed:(Common.seed () + 1) in
+  List.map
+    (fun (label, aggregate) ->
+      let path =
+        Traffic.Process.generate aggregate (Numerics.Rng.split rng) stats_frames
+      in
+      let s = Stats.Descriptive.summarize path in
+      let rs = Stats.Hurst.rescaled_range path in
+      let av = Stats.Hurst.aggregated_variance path in
+      {
+        label;
+        mean = s.Stats.Descriptive.mean;
+        std = s.Stats.Descriptive.std;
+        hurst_rs = rs.Stats.Hurst.h;
+        hurst_var = av.Stats.Hurst.h;
+      })
+    (models ())
+
+let run () =
+  let fig = figure () in
+  (* The raw paths are long; print the summaries, save the full CSV. *)
+  Common.save_figure_csv fig;
+  Printf.printf "\n== fig2: %s (paths in %s/fig2.csv) ==\n" fig.Common.title
+    (Common.results_dir ());
+  Printf.printf "%-14s %-10s %-9s %-9s %-9s\n" "path" "mean" "std" "H(R/S)"
+    "H(var)";
+  List.iter
+    (fun s ->
+      Printf.printf "%-14s %-10.1f %-9.1f %-9.3f %-9.3f\n" s.label s.mean s.std
+        s.hurst_rs s.hurst_var)
+    (summaries ())

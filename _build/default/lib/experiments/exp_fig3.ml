@@ -1,0 +1,67 @@
+let short_lags = Array.init 20 (fun i -> i + 1)
+
+let long_lags =
+  (* log-spaced 1 .. 1000, deduplicated after rounding *)
+  Numerics.Float_array.logspace ~lo:1.0 ~hi:1000.0 ~n:25
+  |> Array.map (fun x -> int_of_float (Float.round x))
+  |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+
+let figure_a () =
+  {
+    Common.id = "fig3a";
+    title = "ACFs of V^v (short-term correlations nearly identical)";
+    xlabel = "lag k";
+    ylabel = "r(k)";
+    series =
+      List.map
+        (fun v ->
+          Common.acf_series
+            ~label:(Printf.sprintf "V^%g" v)
+            (Traffic.Models.v ~v).Traffic.Models.process ~lags:short_lags)
+        Traffic.Models.v_values;
+  }
+
+let figure_b () =
+  let z_series =
+    List.map
+      (fun a ->
+        Common.acf_series
+          ~label:(Printf.sprintf "Z^%g" a)
+          (Traffic.Models.z ~a).Traffic.Models.process ~lags:long_lags)
+      Traffic.Models.z_values
+  in
+  let l_series = Common.acf_series ~label:"L" (Traffic.Models.l ()) ~lags:long_lags in
+  {
+    Common.id = "fig3b";
+    title = "ACFs of Z^a and L (long-term correlations agree)";
+    xlabel = "lag k";
+    ylabel = "r(k)";
+    series = z_series @ [ l_series ];
+  }
+
+let dar_panel ~id ~a =
+  let z = (Traffic.Models.z ~a).Traffic.Models.process in
+  let dar_series =
+    List.map
+      (fun p ->
+        Common.acf_series
+          ~label:(Printf.sprintf "DAR(%d)" p)
+          (Traffic.Models.s ~a ~p) ~lags:short_lags)
+      [ 1; 2; 3 ]
+  in
+  {
+    Common.id = id;
+    title = Printf.sprintf "DAR(p) matches the first p lags of Z^%g" a;
+    xlabel = "lag k";
+    ylabel = "r(k)";
+    series = Common.acf_series ~label:(Printf.sprintf "Z^%g" a) z ~lags:short_lags :: dar_series;
+  }
+
+let figure_c () = dar_panel ~id:"fig3c" ~a:0.975
+let figure_d () = dar_panel ~id:"fig3d" ~a:0.7
+
+let run () =
+  Ascii_plot.emit (figure_a ());
+  Ascii_plot.emit (figure_b ());
+  Ascii_plot.emit (figure_c ());
+  Ascii_plot.emit (figure_d ())

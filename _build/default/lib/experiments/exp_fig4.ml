@@ -1,0 +1,39 @@
+let buffers_msec =
+  [| 0.5; 1.0; 1.5; 2.0; 3.0; 4.0; 5.0; 6.0; 8.0; 10.0; 12.0; 15.0; 18.0;
+     21.0; 24.0; 27.0; 30.0 |]
+
+let figure_a () =
+  {
+    Common.id = "fig4a";
+    title = "CTS m*_b vs buffer: V^v (N=100, c=526)";
+    xlabel = "buffer msec";
+    ylabel = "m*_b";
+    series =
+      List.map
+        (fun v ->
+          Common.cts_series
+            ~label:(Printf.sprintf "V^%g" v)
+            (Traffic.Models.v ~v).Traffic.Models.process ~n:Common.n_fig4
+            ~c:Common.c_fig4 ~buffers_msec)
+        Traffic.Models.v_values;
+  }
+
+let figure_b () =
+  {
+    Common.id = "fig4b";
+    title = "CTS m*_b vs buffer: Z^a (N=100, c=526)";
+    xlabel = "buffer msec";
+    ylabel = "m*_b";
+    series =
+      List.map
+        (fun a ->
+          Common.cts_series
+            ~label:(Printf.sprintf "Z^%g" a)
+            (Traffic.Models.z ~a).Traffic.Models.process ~n:Common.n_fig4
+            ~c:Common.c_fig4 ~buffers_msec)
+        Traffic.Models.z_values;
+  }
+
+let run () =
+  Ascii_plot.emit (figure_a ());
+  Ascii_plot.emit (figure_b ())

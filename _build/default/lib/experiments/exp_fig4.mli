@@ -1,0 +1,9 @@
+(** Fig. 4: the Critical Time Scale m*_b against total buffer size
+    (msec), N = 100 sources, c = 526 cells/frame per source.
+    (a) V^v: same short-term correlations give the same CTS despite
+    different LRD weight; (b) Z^a: stronger short-term correlations
+    give markedly larger CTS despite identical long-term behaviour. *)
+
+val figure_a : unit -> Common.figure
+val figure_b : unit -> Common.figure
+val run : unit -> unit

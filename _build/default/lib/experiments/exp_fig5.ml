@@ -1,0 +1,35 @@
+let figure_a () =
+  {
+    Common.id = "fig5a";
+    title = "B-R BOP: V^v (N=30, c=538)";
+    xlabel = "buffer msec";
+    ylabel = "log10 P(W > B)";
+    series =
+      List.map
+        (fun v ->
+          Common.bop_series
+            ~label:(Printf.sprintf "V^%g" v)
+            (Traffic.Models.v ~v).Traffic.Models.process ~n:Common.n_main
+            ~c:Common.c_main ~buffers_msec:Common.practical_buffers_msec)
+        Traffic.Models.v_values;
+  }
+
+let figure_b () =
+  {
+    Common.id = "fig5b";
+    title = "B-R BOP: Z^a (N=30, c=538)";
+    xlabel = "buffer msec";
+    ylabel = "log10 P(W > B)";
+    series =
+      List.map
+        (fun a ->
+          Common.bop_series
+            ~label:(Printf.sprintf "Z^%g" a)
+            (Traffic.Models.z ~a).Traffic.Models.process ~n:Common.n_main
+            ~c:Common.c_main ~buffers_msec:Common.practical_buffers_msec)
+        Traffic.Models.z_values;
+  }
+
+let run () =
+  Ascii_plot.emit (figure_a ());
+  Ascii_plot.emit (figure_b ())

@@ -1,0 +1,9 @@
+(** Fig. 5: Bahadur–Rao BOP over the practical buffer range,
+    N = 30, c = 538 cells/frame.  (a) V^v — close short-term
+    correlations give close loss curves regardless of LRD weight;
+    (b) Z^a — different short-term correlations split the curves wide
+    apart despite identical Hurst parameter. *)
+
+val figure_a : unit -> Common.figure
+val figure_b : unit -> Common.figure
+val run : unit -> unit

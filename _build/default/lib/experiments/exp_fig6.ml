@@ -1,0 +1,29 @@
+let figure ~a ~with_l ~id =
+  let buffers_msec = Common.practical_buffers_msec in
+  let bop label process =
+    Common.bop_series ~label process ~n:Common.n_main ~c:Common.c_main
+      ~buffers_msec
+  in
+  let z = bop (Printf.sprintf "Z^%g" a) (Traffic.Models.z ~a).Traffic.Models.process in
+  let dars =
+    List.map
+      (fun p -> bop (Printf.sprintf "DAR(%d)" p) (Traffic.Models.s ~a ~p))
+      [ 1; 2; 3 ]
+  in
+  let l = if with_l then [ bop "L" (Traffic.Models.l ()) ] else [] in
+  {
+    Common.id = id;
+    title =
+      Printf.sprintf "B-R BOP: Z^%g vs DAR(p)%s (N=30, c=538)" a
+        (if with_l then " vs L" else "");
+    xlabel = "buffer msec";
+    ylabel = "log10 P(W > B)";
+    series = (z :: dars) @ l;
+  }
+
+let figure_a () = figure ~a:0.975 ~with_l:true ~id:"fig6a"
+let figure_b () = figure ~a:0.7 ~with_l:false ~id:"fig6b"
+
+let run () =
+  Ascii_plot.emit (figure_a ());
+  Ascii_plot.emit (figure_b ())

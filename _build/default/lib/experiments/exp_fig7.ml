@@ -1,0 +1,70 @@
+let buffers_msec = Common.wide_buffers_msec
+
+let bop label process =
+  Common.bop_series ~label process ~n:Common.n_main ~c:Common.c_main
+    ~buffers_msec
+
+let figure_a () =
+  {
+    Common.id = "fig7a";
+    title = "B-R BOP, wide buffer range: Z^0.975 vs DAR(p) vs L";
+    xlabel = "buffer msec";
+    ylabel = "log10 P(W > B)";
+    series =
+      bop "Z^0.975" (Traffic.Models.z ~a:0.975).Traffic.Models.process
+      :: List.map
+           (fun p ->
+             bop (Printf.sprintf "DAR(%d)" p) (Traffic.Models.s ~a:0.975 ~p))
+           [ 1; 2; 3 ]
+      @ [ bop "L" (Traffic.Models.l ()) ];
+  }
+
+let figure_b () =
+  {
+    Common.id = "fig7b";
+    title = "B-R BOP, wide buffer range: Z^0.7 vs DAR(p) vs L";
+    xlabel = "buffer msec";
+    ylabel = "log10 P(W > B)";
+    series =
+      bop "Z^0.7" (Traffic.Models.z ~a:0.7).Traffic.Models.process
+      :: List.map
+           (fun p ->
+             bop (Printf.sprintf "DAR(%d)" p) (Traffic.Models.s ~a:0.7 ~p))
+           [ 1; 2; 3 ]
+      @ [ bop "L" (Traffic.Models.l ()) ];
+  }
+
+let crossover_msec ~a ~p =
+  let z = bop "z" (Traffic.Models.z ~a).Traffic.Models.process in
+  let dar = bop "dar" (Traffic.Models.s ~a ~p) in
+  let l = bop "l" (Traffic.Models.l ()) in
+  let n = Array.length buffers_msec in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let _, zv = z.Common.points.(i) in
+      let _, dv = dar.Common.points.(i) in
+      let _, lv = l.Common.points.(i) in
+      if Float.abs (lv -. zv) < Float.abs (dv -. zv) then
+        Some buffers_msec.(i)
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let run () =
+  Ascii_plot.emit ~logx:true (figure_a ());
+  Ascii_plot.emit ~logx:true (figure_b ());
+  List.iter
+    (fun a ->
+      List.iter
+        (fun p ->
+          match crossover_msec ~a ~p with
+          | Some b ->
+              Printf.printf
+                "crossover: L beats DAR(%d) for Z^%g from B ~ %.0f msec\n" p a b
+          | None ->
+              Printf.printf
+                "crossover: L never beats DAR(%d) for Z^%g on this grid\n" p a)
+        [ 1; 2; 3 ])
+    [ 0.975; 0.7 ]

@@ -1,0 +1,35 @@
+let buffers_msec = Exp_fig8.buffers_msec
+
+let sim ?frames_scale label process =
+  Common.clr_sim_series ?frames_scale ~label process ~n:Common.n_main
+    ~c:Common.c_main ~buffers_msec
+
+let panel ~id ~a ~with_l =
+  let series =
+    sim (Printf.sprintf "Z^%g" a) (Traffic.Models.z ~a).Traffic.Models.process
+    :: List.map
+         (fun p ->
+           (* DAR generation is ~100x cheaper than the event-driven LRD
+              models, so push it 10x deeper into the tail. *)
+           sim ~frames_scale:10
+             (Printf.sprintf "DAR(%d)" p)
+             (Traffic.Models.s ~a ~p))
+         [ 1; 2; 3 ]
+    @ (if with_l then [ sim "L" (Traffic.Models.l ()) ] else [])
+  in
+  {
+    Common.id = id;
+    title =
+      Printf.sprintf "Simulated CLR: Z^%g vs DAR(p)%s (N=30, c=538)" a
+        (if with_l then " vs L" else "");
+    xlabel = "buffer msec";
+    ylabel = "log10 CLR";
+    series;
+  }
+
+let figure_a () = panel ~id:"fig9a" ~a:0.975 ~with_l:true
+let figure_b () = panel ~id:"fig9b" ~a:0.7 ~with_l:false
+
+let run () =
+  Ascii_plot.emit (figure_a ());
+  Ascii_plot.emit (figure_b ())

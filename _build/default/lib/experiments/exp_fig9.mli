@@ -1,0 +1,8 @@
+(** Fig. 9: simulated finite-buffer CLR of Z^a against its matched
+    DAR(p) models and L (N = 30, c = 538) — the simulation counterpart
+    of Fig. 6, showing that the cheap Markov models track the LRD
+    traffic's loss over the practical range. *)
+
+val figure_a : unit -> Common.figure
+val figure_b : unit -> Common.figure
+val run : unit -> unit

@@ -1,0 +1,53 @@
+let params = { Traffic.Dar.rho = 0.821; weights = [| 1.0 |] }
+
+let marginals () =
+  [
+    ("gaussian", Traffic.Dar.gaussian_marginal ~mean:Common.mu ~variance:Common.sigma2);
+    ( "neg-binomial",
+      Traffic.Dar.negative_binomial_marginal ~mean:Common.mu
+        ~variance:Common.sigma2 );
+    ("gamma", Traffic.Dar.gamma_marginal ~mean:Common.mu ~variance:Common.sigma2);
+  ]
+
+let figure_clr () =
+  let buffers_msec = [| 0.0; 0.5; 1.0; 2.0; 3.0; 5.0; 8.0; 12.0 |] in
+  {
+    Common.id = "marginal_clr";
+    title =
+      "Simulated CLR under different frame-size marginals, equal moments \
+       and ACF (DAR(1), N=30, c=538)";
+    xlabel = "buffer msec";
+    ylabel = "log10 CLR";
+    series =
+      List.map
+        (fun (name, marginal) ->
+          let process = Traffic.Dar.make ~name marginal params in
+          Common.clr_sim_series ~frames_scale:5 ~label:name process
+            ~n:Common.n_main ~c:Common.c_main ~buffers_msec)
+        (marginals ());
+  }
+
+let figure_cts_invariance () =
+  {
+    Common.id = "marginal_cts";
+    title = "CTS depends on the marginal only through (mu, sigma^2)";
+    xlabel = "buffer msec";
+    ylabel = "m*_b";
+    series =
+      List.map
+        (fun (name, marginal) ->
+          let process = Traffic.Dar.make ~name marginal params in
+          Common.cts_series ~label:name process ~n:Common.n_main
+            ~c:Common.c_main ~buffers_msec:Common.practical_buffers_msec)
+        (marginals ());
+  }
+
+let run () =
+  Ascii_plot.emit (figure_clr ());
+  Ascii_plot.emit (figure_cts_invariance ());
+  Printf.printf
+    "\nWith moments and correlations pinned, the marginals agree to a\n\
+     fraction of a decade where losses are well observed (small buffers)\n\
+     and stay within about one decade out where the estimates run out of\n\
+     loss events - second-order structure, not marginal shape, drives\n\
+     buffer dimensioning (paper Section 6.1).\n"

@@ -1,0 +1,17 @@
+(** Section 6.1 experiment: effect of the frame-size marginal.
+
+    The paper argues its conclusions survive heavier-tailed marginals
+    because, once bandwidth is adjusted to restore the operating point,
+    buffer behaviour differences are again driven by correlations.  We
+    test this directly by simulating DAR(1) multiplexers with Gaussian,
+    negative-binomial (Heyman–Lakshman) and gamma marginals of equal
+    mean and variance and equal correlation structure. *)
+
+val figure_clr : unit -> Common.figure
+(** Simulated CLR vs buffer for the three marginals (N=30, c=538). *)
+
+val figure_cts_invariance : unit -> Common.figure
+(** The CTS analysis depends on the marginal only through (mu, sigma^2)
+    — shown by construction, plotted for the record. *)
+
+val run : unit -> unit

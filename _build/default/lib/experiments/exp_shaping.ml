@@ -1,0 +1,57 @@
+let end_to_end_budget_msec = 200.0
+let hops = 3
+let frame_msec = Common.ts *. 1000.0
+let windows = [| 1; 2; 3; 4; 5 |]
+
+let buffer_msec_at_window w =
+  let shaping_delay = float_of_int (w - 1) *. frame_msec in
+  (end_to_end_budget_msec -. shaping_delay) /. float_of_int hops
+
+let bop_at_window process w =
+  let shaped = Traffic.Shaper.smooth process ~window:w in
+  let buffer_msec = buffer_msec_at_window w in
+  if buffer_msec <= 0.0 then nan
+  else begin
+    let vg = Common.variance_growth shaped in
+    let b =
+      Common.buffer_cells_per_source ~msec:buffer_msec ~n:Common.n_main
+        ~c:Common.c_main
+    in
+    (Core.Bahadur_rao.evaluate vg ~mu:shaped.Traffic.Process.mean
+       ~c:Common.c_main ~b ~n:Common.n_main)
+      .Core.Bahadur_rao.log10_bop
+  end
+
+let figure_fixed_budget () =
+  let series_of label process =
+    Common.series ~label
+      (Array.to_list windows
+      |> List.filter (fun w -> buffer_msec_at_window w > 0.0)
+      |> List.map (fun w -> (float_of_int w, bop_at_window process w))
+      |> Array.of_list)
+  in
+  {
+    Common.id = "shaping";
+    title =
+      Printf.sprintf
+        "Source shaping vs per-hop loss, %g msec end-to-end over %d hops"
+        end_to_end_budget_msec hops;
+    xlabel = "shaper window (frames)";
+    ylabel = "per-hop log10 P(W > B)";
+    series =
+      [
+        series_of "Z^0.975" (Traffic.Models.z ~a:0.975).Traffic.Models.process;
+        series_of "Z^0.7" (Traffic.Models.z ~a:0.7).Traffic.Models.process;
+        series_of "MPEG"
+          (Traffic.Mpeg.process (Traffic.Mpeg.create ~mean:500.0 ()));
+      ];
+  }
+
+let run () =
+  Ascii_plot.emit (figure_fixed_budget ());
+  Printf.printf
+    "\nEvery point spends the same 200 msec end-to-end: window w costs\n\
+     (w-1) x 40 msec of source shaping delay and the remainder is split\n\
+     into three per-hop buffers.  Whether shaping pays depends on the\n\
+     source's short-term correlations - exactly the quantity the CTS\n\
+     isolates - while the Hurst parameter never enters.\n"

@@ -1,0 +1,112 @@
+type row = {
+  model : string;
+  v : float option;
+  alpha : float option;
+  a : string;
+  lambda : float option;
+  t0_msec : float option;
+  m : int option;
+}
+
+let composite_row name (c : Traffic.Models.composite) =
+  {
+    model = name;
+    v = Some c.Traffic.Models.v;
+    alpha = Some c.Traffic.Models.fbndp.Traffic.Fbndp.alpha;
+    a = Printf.sprintf "%.6f" c.Traffic.Models.dar_a;
+    lambda = Some (Traffic.Fbndp.lambda c.Traffic.Models.fbndp);
+    t0_msec =
+      Some (Traffic.Fbndp.fractal_onset_time c.Traffic.Models.fbndp *. 1000.0);
+    m = Some c.Traffic.Models.fbndp.Traffic.Fbndp.m;
+  }
+
+let rows () =
+  let v_rows =
+    List.map
+      (fun v -> composite_row (Printf.sprintf "V^%g" v) (Traffic.Models.v ~v))
+      Traffic.Models.v_values
+  in
+  let z_row =
+    let c = Traffic.Models.z ~a:0.7 in
+    {
+      (composite_row "Z^a" c) with
+      a = String.concat ", " (List.map (Printf.sprintf "%g") Traffic.Models.z_values);
+    }
+  in
+  let l_row =
+    let p = Traffic.Models.l_params () in
+    {
+      model = "L";
+      v = None;
+      alpha = Some p.Traffic.Fbndp.alpha;
+      a = "-";
+      lambda = Some (Traffic.Fbndp.lambda p);
+      t0_msec = Some (Traffic.Fbndp.fractal_onset_time p *. 1000.0);
+      m = Some p.Traffic.Fbndp.m;
+    }
+  in
+  v_rows @ [ z_row; l_row ]
+
+type dar_fit_row = {
+  target : string;
+  p : int;
+  rho : float;
+  weights : float array;
+}
+
+let dar_fits () =
+  List.concat_map
+    (fun a ->
+      List.map
+        (fun p ->
+          let params = Traffic.Models.s_params ~a ~p in
+          {
+            target = Printf.sprintf "Z^%g" a;
+            p;
+            rho = params.Traffic.Dar.rho;
+            weights = params.Traffic.Dar.weights;
+          })
+        [ 1; 2; 3 ])
+    [ 0.975; 0.7 ]
+
+let opt_fmt fmt = function None -> "-" | Some x -> Printf.sprintf fmt x
+
+let run () =
+  Printf.printf "\n== table1: Model parameters (derived, cf. paper Table 1) ==\n";
+  Printf.printf "%-8s %-6s %-6s %-28s %-10s %-9s %-3s\n" "model" "v" "alpha" "a"
+    "lambda" "T0(msec)" "M";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %-6s %-6s %-28s %-10s %-9s %-3s\n" r.model
+        (opt_fmt "%g" r.v) (opt_fmt "%g" r.alpha) r.a
+        (opt_fmt "%.0f" r.lambda) (opt_fmt "%.2f" r.t0_msec)
+        (match r.m with None -> "-" | Some m -> string_of_int m))
+    (rows ());
+  Printf.printf "\nDAR(p) fits (S models):\n";
+  Printf.printf "%-10s %-3s %-7s %s\n" "target" "p" "rho" "a_1..a_p";
+  List.iter
+    (fun f ->
+      Printf.printf "%-10s %-3d %-7.3f %s\n" f.target f.p f.rho
+        (String.concat ", "
+           (Array.to_list (Array.map (Printf.sprintf "%.3f") f.weights))))
+    (dar_fits ());
+  (* CSV export. *)
+  let dir = Common.results_dir () in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out (Filename.concat dir "table1.csv") in
+  Printf.fprintf oc "model,v,alpha,a,lambda,t0_msec,m\n";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc "%s,%s,%s,\"%s\",%s,%s,%s\n" r.model (opt_fmt "%g" r.v)
+        (opt_fmt "%g" r.alpha) r.a (opt_fmt "%.2f" r.lambda)
+        (opt_fmt "%.4f" r.t0_msec)
+        (match r.m with None -> "" | Some m -> string_of_int m))
+    (rows ());
+  Printf.fprintf oc "\ntarget,p,rho,weights\n";
+  List.iter
+    (fun f ->
+      Printf.fprintf oc "%s,%d,%.4f,\"%s\"\n" f.target f.p f.rho
+        (String.concat " "
+           (Array.to_list (Array.map (Printf.sprintf "%.4f") f.weights))))
+    (dar_fits ());
+  close_out oc

@@ -1,0 +1,25 @@
+(** Table 1: derived model parameters of V^v, Z^a, S and L, recomputed
+    from first principles (nothing hard-coded). *)
+
+type row = {
+  model : string;
+  v : float option;
+  alpha : float option;
+  a : string;  (** DAR(1) lag-1 value(s), formatted *)
+  lambda : float option;  (** cells/sec *)
+  t0_msec : float option;
+  m : int option;
+}
+
+val rows : unit -> row list
+
+type dar_fit_row = {
+  target : string;  (** which Z^a the DAR(p) was fitted to *)
+  p : int;
+  rho : float;
+  weights : float array;
+}
+
+val dar_fits : unit -> dar_fit_row list
+
+val run : unit -> unit

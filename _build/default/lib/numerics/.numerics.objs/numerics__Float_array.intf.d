@@ -1,0 +1,1 @@
+lib/numerics/float_array.mli:

@@ -1,0 +1,107 @@
+let pi = 4.0 *. atan 1.0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec grow p = if p >= n then p else grow (p * 2) in
+  grow 1
+
+(* Iterative Cooley-Tukey with bit-reversal permutation. *)
+let transform ~re ~im ~sign =
+  let n = Array.length re in
+  assert (Array.length im = n);
+  assert (is_pow2 n);
+  (* Bit reversal. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let rec carry m =
+      if m land !j <> 0 then begin
+        j := !j lxor m;
+        carry (m lsr 1)
+      end
+      else j := !j lor m
+    in
+    carry (n lsr 1)
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let angle = sign *. 2.0 *. pi /. float_of_int !len in
+    let wr = cos angle and wi = sin angle in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to half - 1 do
+        let a = !i + k and b = !i + k + half in
+        let tr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+        let ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let nr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := nr
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let forward ~re ~im = transform ~re ~im ~sign:(-1.0)
+
+let inverse ~re ~im =
+  transform ~re ~im ~sign:1.0;
+  let n = float_of_int (Array.length re) in
+  for i = 0 to Array.length re - 1 do
+    re.(i) <- re.(i) /. n;
+    im.(i) <- im.(i) /. n
+  done
+
+let periodogram x =
+  let n = Array.length x in
+  assert (n > 1);
+  let mean = Array.fold_left ( +. ) 0.0 x /. float_of_int n in
+  let m = next_pow2 n in
+  let re = Array.make m 0.0 and im = Array.make m 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- x.(i) -. mean
+  done;
+  forward ~re ~im;
+  let half = m / 2 in
+  Array.init half (fun j ->
+      let k = j + 1 in
+      let w = 2.0 *. pi *. float_of_int k /. float_of_int m in
+      let power =
+        ((re.(k) *. re.(k)) +. (im.(k) *. im.(k)))
+        /. (2.0 *. pi *. float_of_int n)
+      in
+      (w, power))
+
+let convolve a b =
+  let la = Array.length a and lb = Array.length b in
+  assert (la > 0 && lb > 0);
+  let n = next_pow2 (la + lb - 1) in
+  let re1 = Array.make n 0.0 and im1 = Array.make n 0.0 in
+  let re2 = Array.make n 0.0 and im2 = Array.make n 0.0 in
+  Array.blit a 0 re1 0 la;
+  Array.blit b 0 re2 0 lb;
+  forward ~re:re1 ~im:im1;
+  forward ~re:re2 ~im:im2;
+  for i = 0 to n - 1 do
+    let r = (re1.(i) *. re2.(i)) -. (im1.(i) *. im2.(i)) in
+    let im' = (re1.(i) *. im2.(i)) +. (im1.(i) *. re2.(i)) in
+    re1.(i) <- r;
+    im1.(i) <- im'
+  done;
+  inverse ~re:re1 ~im:im1;
+  Array.sub re1 0 (la + lb - 1)

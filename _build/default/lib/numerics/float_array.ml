@@ -1,0 +1,105 @@
+let sum x =
+  (* Kahan compensation keeps the long simulation averages accurate. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let y = x.(i) -. !comp in
+    let t = !total +. y in
+    comp := t -. !total -. y;
+    total := t
+  done;
+  !total
+
+let mean x =
+  let n = Array.length x in
+  assert (n > 0);
+  sum x /. float_of_int n
+
+let variance_population x =
+  let n = Array.length x in
+  assert (n >= 1);
+  let m = mean x in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = x.(i) -. m in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int n
+
+let variance x =
+  let n = Array.length x in
+  assert (n >= 2);
+  variance_population x *. float_of_int n /. float_of_int (n - 1)
+
+let std x = sqrt (variance x)
+
+let min x =
+  assert (Array.length x > 0);
+  Array.fold_left Stdlib.min x.(0) x
+
+let max x =
+  assert (Array.length x > 0);
+  Array.fold_left Stdlib.max x.(0) x
+
+let dot a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let prefix_sums x =
+  let n = Array.length x in
+  let out = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    out.(i + 1) <- out.(i) +. x.(i)
+  done;
+  out
+
+let linspace ~lo ~hi ~n =
+  assert (n >= 2);
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> lo +. (step *. float_of_int i))
+
+let logspace ~lo ~hi ~n =
+  assert (n >= 2 && lo > 0.0 && hi > lo);
+  let llo = log lo and lhi = log hi in
+  Array.init n (fun i ->
+      exp (llo +. ((lhi -. llo) *. float_of_int i /. float_of_int (n - 1))))
+
+let quantile x p =
+  assert (p >= 0.0 && p <= 1.0);
+  let n = Array.length x in
+  assert (n > 0);
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  let pos = p *. float_of_int (n - 1) in
+  let i = int_of_float (floor pos) in
+  if i >= n - 1 then sorted.(n - 1)
+  else begin
+    let frac = pos -. float_of_int i in
+    (sorted.(i) *. (1.0 -. frac)) +. (sorted.(i + 1) *. frac)
+  end
+
+let map2 f a b =
+  let n = Array.length a in
+  assert (Array.length b = n);
+  Array.init n (fun i -> f a.(i) b.(i))
+
+let normalize_in_place x =
+  let total = sum x in
+  if total > 0.0 then
+    for i = 0 to Array.length x - 1 do
+      x.(i) <- x.(i) /. total
+    done
+
+let aggregate x ~block =
+  assert (block >= 1);
+  let n = Array.length x / block in
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for j = i * block to ((i + 1) * block) - 1 do
+        acc := !acc +. x.(j)
+      done;
+      !acc /. float_of_int block)

@@ -1,0 +1,63 @@
+let simpson a b fa fm fb = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb)
+
+let adaptive_simpson ~f ~lo ~hi ~tol =
+  assert (hi >= lo && tol > 0.0);
+  if hi = lo then 0.0
+  else begin
+    (* Each recursion level compares the two-panel estimate against the
+       single-panel one; the factor 15 is the Richardson constant for
+       Simpson's rule. *)
+    let rec refine a b fa fm fb whole tol depth =
+      let m = (a +. b) /. 2.0 in
+      let lm = (a +. m) /. 2.0 and rm = (m +. b) /. 2.0 in
+      let flm = f lm and frm = f rm in
+      let left = simpson a m fa flm fm in
+      let right = simpson m b fm frm fb in
+      if depth > 40 || Float.abs (left +. right -. whole) <= 15.0 *. tol then
+        left +. right +. ((left +. right -. whole) /. 15.0)
+      else
+        refine a m fa flm fm left (tol /. 2.0) (depth + 1)
+        +. refine m b fm frm fb right (tol /. 2.0) (depth + 1)
+    in
+    let fa = f lo and fb = f hi in
+    let m = (lo +. hi) /. 2.0 in
+    let fm = f m in
+    refine lo hi fa fm fb (simpson lo hi fa fm fb) tol 0
+  end
+
+(* Nodes and weights for 16-point Gauss-Legendre on [-1, 1] (symmetric;
+   only the positive half is stored). *)
+let gl16_nodes =
+  [| 0.0950125098376374; 0.2816035507792589; 0.4580167776572274;
+     0.6178762444026438; 0.7554044083550030; 0.8656312023878318;
+     0.9445750230732326; 0.9894009349916499 |]
+
+let gl16_weights =
+  [| 0.1894506104550685; 0.1826034150449236; 0.1691565193950025;
+     0.1495959888165767; 0.1246289712555339; 0.0951585116824928;
+     0.0622535239386479; 0.0271524594117541 |]
+
+let gauss_legendre_16 ~f ~lo ~hi =
+  assert (hi >= lo);
+  let half = (hi -. lo) /. 2.0 in
+  let mid = (hi +. lo) /. 2.0 in
+  let acc = ref 0.0 in
+  for i = 0 to 7 do
+    let dx = half *. gl16_nodes.(i) in
+    acc := !acc +. (gl16_weights.(i) *. (f (mid -. dx) +. f (mid +. dx)))
+  done;
+  half *. !acc
+
+let tail_integral ~f ~lo ~decay ~tol =
+  assert (decay > 1.0 && tol > 0.0 && lo > 0.0);
+  (* Geometric panels [lo*2^k, lo*2^(k+1)]: for an x^-decay integrand
+     panel contributions shrink by 2^(1-decay), so a small-last-panel
+     stopping rule is sound. *)
+  let rec loop a acc k =
+    let b = 2.0 *. a in
+    let panel = gauss_legendre_16 ~f ~lo:a ~hi:b in
+    let acc = acc +. panel in
+    if (Float.abs panel < tol && k > 2) || k > 200 then acc
+    else loop b acc (k + 1)
+  in
+  loop lo 0.0 0

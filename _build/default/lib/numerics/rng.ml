@@ -1,0 +1,83 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64 is used only to expand a small seed into full 256-bit
+   state; it guarantees that nearby integer seeds yield unrelated
+   Xoshiro states. *)
+let splitmix_next state =
+  let open Int64 in
+  let z = add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let uint64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (uint64 t) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let jump_to_substream t i =
+  (* Mix the substream index into a snapshot of the state through
+     SplitMix64 so the parent generator is left untouched. *)
+  let state = ref (Int64.logxor t.s0 (Int64.mul (Int64.of_int (i + 1)) 0xD1342543DE82EF95L)) in
+  let s0 = splitmix_next state in
+  let state = ref (Int64.logxor t.s1 s0) in
+  let s1 = splitmix_next state in
+  let state = ref (Int64.logxor t.s2 s1) in
+  let s2 = splitmix_next state in
+  let state = ref (Int64.logxor t.s3 s2) in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+(* 2^-53: the spacing of doubles in [1,2); used to map 53 random bits
+   onto (0,1). *)
+let two_pow_minus53 = 1.1102230246251565e-16
+
+let float t =
+  let bits = Int64.shift_right_logical (uint64 t) 11 in
+  let u = Int64.to_float bits *. two_pow_minus53 in
+  if u <= 0. then two_pow_minus53 else u
+
+let float_range t ~lo ~hi =
+  assert (hi > lo);
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  assert (bound > 0);
+  (* Rejection sampling on the high bits avoids modulo bias. *)
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (uint64 t) 2) in
+    let v = r mod bound in
+    if r - v > (max_int - bound) + 1 then loop () else v
+  in
+  loop ()
+
+let bool t = Int64.compare (uint64 t) 0L < 0

@@ -1,0 +1,105 @@
+let bisect ~f ~lo ~hi ~tol =
+  assert (hi > lo && tol > 0.0);
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    assert (flo *. fhi < 0.0);
+    let rec loop lo hi flo =
+      if hi -. lo <= tol then (lo +. hi) /. 2.0
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if flo *. fmid < 0.0 then loop lo mid flo
+        else loop mid hi fmid
+      end
+    in
+    loop lo hi flo
+  end
+
+let newton ~f ~df ~x0 ~tol =
+  assert (tol > 0.0);
+  let rec loop x iter =
+    if iter > 100 then x
+    else begin
+      let fx = f x in
+      let dfx = df x in
+      let step =
+        if Float.abs dfx < 1e-300 then (if fx > 0.0 then tol else -.tol)
+        else fx /. dfx
+      in
+      let x' = x -. step in
+      if Float.abs (x' -. x) < tol then x' else loop x' (iter + 1)
+    end
+  in
+  loop x0 0
+
+(* Brent–Dekker, standard formulation. *)
+let brent ~f ~lo ~hi ~tol =
+  assert (hi > lo && tol > 0.0);
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if !fa = 0.0 then !a
+  else if !fb = 0.0 then !b
+  else begin
+    assert (!fa *. !fb < 0.0);
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in
+      a := !b;
+      b := t;
+      let t = !fa in
+      fa := !fb;
+      fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) in
+    let mflag = ref true in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < 200 do
+      incr iter;
+      if Float.abs (!b -. !a) < tol || !fb = 0.0 then result := Some !b
+      else begin
+        let s =
+          if !fa <> !fc && !fb <> !fc then
+            (* Inverse quadratic interpolation. *)
+            (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+            +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+            +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+          else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+        in
+        let lo_bound = ((3.0 *. !a) +. !b) /. 4.0 in
+        let use_bisect =
+          (s < min lo_bound !b || s > max lo_bound !b)
+          || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.0)
+          || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.0)
+          || (!mflag && Float.abs (!b -. !c) < tol)
+          || ((not !mflag) && Float.abs (!c -. !d) < tol)
+        in
+        let s = if use_bisect then (!a +. !b) /. 2.0 else s in
+        mflag := use_bisect;
+        let fs = f s in
+        d := !c;
+        c := !b;
+        fc := !fb;
+        if !fa *. fs < 0.0 then begin
+          b := s;
+          fb := fs
+        end
+        else begin
+          a := s;
+          fa := fs
+        end;
+        if Float.abs !fa < Float.abs !fb then begin
+          let t = !a in
+          a := !b;
+          b := t;
+          let t = !fa in
+          fa := !fb;
+          fb := t
+        end
+      end
+    done;
+    match !result with Some x -> x | None -> !b
+  end

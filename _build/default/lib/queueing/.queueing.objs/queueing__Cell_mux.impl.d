@@ -1,0 +1,1 @@
+lib/queueing/cell_mux.ml: Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/queueing/cell_mux.mli:

@@ -1,0 +1,1 @@
+lib/queueing/fluid_mux.ml: Array Numerics Stdlib

@@ -1,0 +1,1 @@
+lib/queueing/replication.ml: Array Numerics Stats

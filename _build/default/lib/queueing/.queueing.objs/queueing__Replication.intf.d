@@ -1,0 +1,1 @@
+lib/queueing/replication.mli: Numerics Stats

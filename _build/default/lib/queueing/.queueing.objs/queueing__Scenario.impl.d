@@ -1,0 +1,1 @@
+lib/queueing/scenario.ml: Array Fluid_mux Numerics Replication Traffic Units

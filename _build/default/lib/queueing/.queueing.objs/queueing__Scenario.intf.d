@@ -1,0 +1,1 @@
+lib/queueing/scenario.mli: Stats Traffic

@@ -1,0 +1,1 @@
+lib/stats/acf.ml: Array Numerics

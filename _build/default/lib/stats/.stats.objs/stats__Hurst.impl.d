@@ -1,0 +1,1 @@
+lib/stats/hurst.ml: Array Float List Numerics Regression Stdlib

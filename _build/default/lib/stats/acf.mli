@@ -1,0 +1,21 @@
+(** Sample autocovariance / autocorrelation estimation.
+
+    The biased (divide-by-n) estimator is used throughout, as is
+    standard for time series: it guarantees a positive semi-definite
+    autocovariance sequence. *)
+
+val autocovariance : float array -> max_lag:int -> float array
+(** [autocovariance x ~max_lag] has length [max_lag + 1]; element [k]
+    is [1/n sum_t (x_t - mean)(x_{t+k} - mean)].  Direct O(n * max_lag)
+    computation. *)
+
+val autocorrelation : float array -> max_lag:int -> float array
+(** Autocovariance normalised by lag-0; element 0 is 1. *)
+
+val autocorrelation_fft : float array -> max_lag:int -> float array
+(** Same estimator computed via FFT (O(n log n)); preferable when
+    [max_lag] is large. *)
+
+val partial_autocorrelation : float array -> max_lag:int -> float array
+(** Partial ACF via the Durbin–Levinson recursion on the sample ACF;
+    element 0 is 1 by convention. *)

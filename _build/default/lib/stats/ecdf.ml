@@ -1,0 +1,31 @@
+type t = { sorted : float array }
+
+let of_samples x =
+  assert (Array.length x > 0);
+  let sorted = Array.copy x in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+
+(* Number of elements <= x, by binary search for the upper bound. *)
+let count_le t x =
+  let n = Array.length t.sorted in
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.sorted.(mid) <= x then bisect (mid + 1) hi else bisect lo mid
+    end
+  in
+  bisect 0 n
+
+let cdf t x = float_of_int (count_le t x) /. float_of_int (size t)
+let tail t x = 1.0 -. cdf t x
+
+let quantile t p =
+  assert (p >= 0.0 && p <= 1.0);
+  Numerics.Float_array.quantile t.sorted p
+
+let tail_curve t ~thresholds =
+  Array.map (fun x -> (x, tail t x)) thresholds

@@ -1,0 +1,23 @@
+(** Empirical distribution functions and tail estimation, used to turn
+    simulated workload samples into buffer-overflow-probability
+    curves. *)
+
+type t
+
+val of_samples : float array -> t
+(** Builds the ECDF of the sample (copies and sorts, O(n log n)). *)
+
+val cdf : t -> float -> float
+(** [cdf t x] is the fraction of samples [<= x]. *)
+
+val tail : t -> float -> float
+(** [tail t x] is [P(X > x)], the empirical complementary CDF. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [0, 1]. *)
+
+val size : t -> int
+
+val tail_curve : t -> thresholds:float array -> (float * float) array
+(** [(x, P(X > x))] pairs for each threshold, in one pass over the
+    sorted data. *)

@@ -1,0 +1,39 @@
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;
+  stderr_slope : float;
+  n : int;
+}
+
+let linear ~x ~y =
+  let n = Array.length x in
+  assert (Array.length y = n && n >= 3);
+  let nf = float_of_int n in
+  let mx = Numerics.Float_array.mean x and my = Numerics.Float_array.mean y in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx and dy = y.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  assert (!sxx > 0.0);
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = !syy -. (slope *. !sxy) in
+  let r_squared = if !syy > 0.0 then 1.0 -. (ss_res /. !syy) else 1.0 in
+  let stderr_slope =
+    if n > 2 then sqrt (Stdlib.max 0.0 ss_res /. ((nf -. 2.0) *. !sxx)) else 0.0
+  in
+  { slope; intercept; r_squared; stderr_slope; n }
+
+let log_log ~x ~y =
+  let pairs =
+    Array.to_list (Array.mapi (fun i xi -> (xi, y.(i))) x)
+    |> List.filter (fun (xi, yi) -> xi > 0.0 && yi > 0.0)
+  in
+  assert (List.length pairs >= 3);
+  let lx = Array.of_list (List.map (fun (xi, _) -> log xi) pairs) in
+  let ly = Array.of_list (List.map (fun (_, yi) -> log yi) pairs) in
+  linear ~x:lx ~y:ly

@@ -1,0 +1,18 @@
+(** Ordinary least squares for the log–log regressions used by the
+    Hurst estimators. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** coefficient of determination *)
+  stderr_slope : float;  (** standard error of the slope estimate *)
+  n : int;
+}
+
+val linear : x:float array -> y:float array -> fit
+(** [linear ~x ~y] fits [y = intercept + slope * x] by least squares;
+    arrays must be equal length with [n >= 3]. *)
+
+val log_log : x:float array -> y:float array -> fit
+(** Least squares on [(log x, log y)]; points with non-positive
+    coordinates are dropped (at least 3 must survive). *)

@@ -1,0 +1,1 @@
+lib/traffic/dar.ml: Array Float Numerics Printf Process Stdlib

@@ -1,0 +1,1 @@
+lib/traffic/dar.mli: Numerics Process

@@ -1,0 +1,1 @@
+lib/traffic/farima.ml: Array Numerics Printf Process

@@ -1,0 +1,1 @@
+lib/traffic/farima.mli: Process

@@ -1,0 +1,1 @@
+lib/traffic/fbndp.ml: Array Fractal_onoff Numerics Onoff_dist Printf Process

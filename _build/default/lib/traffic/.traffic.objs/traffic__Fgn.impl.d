@@ -1,0 +1,1 @@
+lib/traffic/fgn.ml: Array Numerics Printf Process

@@ -1,0 +1,1 @@
+lib/traffic/fgn.mli: Numerics Process

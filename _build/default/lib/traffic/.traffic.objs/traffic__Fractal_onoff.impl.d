@@ -1,0 +1,1 @@
+lib/traffic/fractal_onoff.ml: Numerics Onoff_dist

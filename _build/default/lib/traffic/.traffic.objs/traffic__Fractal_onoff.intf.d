@@ -1,0 +1,1 @@
+lib/traffic/fractal_onoff.mli: Numerics Onoff_dist

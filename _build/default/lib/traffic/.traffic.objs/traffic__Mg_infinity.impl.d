@@ -1,0 +1,1 @@
+lib/traffic/mg_infinity.ml: Hashtbl Numerics Option Printf Process Stdlib

@@ -1,0 +1,1 @@
+lib/traffic/mg_infinity.mli: Process

@@ -1,0 +1,1 @@
+lib/traffic/models.ml: Dar Fbndp Printf Process

@@ -1,0 +1,1 @@
+lib/traffic/models.mli: Dar Fbndp Process

@@ -1,0 +1,1 @@
+lib/traffic/mpeg.ml: Array Dar Numerics Printf Process

@@ -1,0 +1,1 @@
+lib/traffic/mpeg.mli: Process

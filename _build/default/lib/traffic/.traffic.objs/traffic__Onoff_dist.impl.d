@@ -1,0 +1,1 @@
+lib/traffic/onoff_dist.ml: Numerics Printf

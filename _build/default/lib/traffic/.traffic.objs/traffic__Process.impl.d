@@ -1,0 +1,1 @@
+lib/traffic/process.ml: Array List Numerics Printf Stdlib String

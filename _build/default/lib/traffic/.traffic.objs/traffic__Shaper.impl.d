@@ -1,0 +1,1 @@
+lib/traffic/shaper.ml: Array Numerics Printf Process

@@ -1,0 +1,24 @@
+(** Fractional ARIMA(0, d, 0) — the asymptotically LRD Gaussian process
+    cited by the paper (Beran et al.) as a video-trace model.
+
+    [X_t = (1 - B)^(-d) eps_t] with [0 < d < 1/2] has Hurst parameter
+    [H = d + 1/2], autocorrelation
+    [r(k) = Gamma(k + d) Gamma(1 - d) / (Gamma(k - d + 1) Gamma(d))]
+    which decays like [k^(2d - 1)], and an MA(infinity) representation
+    with coefficients [psi_j = Gamma(j + d) / (Gamma(d) Gamma(j + 1))]. *)
+
+val acf : d:float -> int -> float
+(** Analytic autocorrelation at lag [k >= 0], computed through
+    log-gamma for numerical stability at large lags. *)
+
+val ma_coefficients : d:float -> n:int -> float array
+(** The first [n] MA(infinity) weights [psi_0 .. psi_(n-1)], by the
+    stable recurrence [psi_j = psi_(j-1) (j - 1 + d) / j]. *)
+
+val process :
+  ?truncation:int -> d:float -> mean:float -> variance:float -> unit -> Process.t
+(** F-ARIMA(0,d,0) as a frame process.  Generation truncates the
+    MA(infinity) filter at [truncation] terms (default 2048) and scales
+    the innovation variance so the marginal variance is exact; the ACF
+    reported is the analytic (untruncated) one.  The truncation biases
+    correlations only at lags near and beyond the truncation point. *)

@@ -1,0 +1,92 @@
+type params = { alpha : float; a : float; m : int; r : float }
+
+let check_alpha alpha =
+  if not (alpha > 0.0 && alpha < 1.0) then
+    invalid_arg (Printf.sprintf "Fbndp: alpha = %g outside (0, 1)" alpha)
+
+let create ~alpha ~a ~m ~r =
+  check_alpha alpha;
+  if not (a > 0.0) then invalid_arg "Fbndp: breakpoint A must be positive";
+  if m < 1 then invalid_arg "Fbndp: M must be at least 1";
+  if not (r > 0.0) then invalid_arg "Fbndp: rate R must be positive";
+  { alpha; a; m; r }
+
+let hurst { alpha; _ } = (alpha +. 1.0) /. 2.0
+let lambda { m; r; _ } = r *. float_of_int m /. 2.0
+
+(* The constant K(alpha) in T_0^alpha = K(alpha) / (R A^(1-alpha)). *)
+let onset_constant alpha =
+  alpha *. (alpha +. 1.0) /. (2.0 -. alpha)
+  *. (((1.0 -. alpha) *. exp (2.0 -. alpha)) +. 1.0)
+
+let fractal_onset_time { alpha; a; r; _ } =
+  (onset_constant alpha /. r *. (a ** (alpha -. 1.0))) ** (1.0 /. alpha)
+
+let of_target ~alpha ~lambda ~t0 ~m =
+  check_alpha alpha;
+  if not (lambda > 0.0 && t0 > 0.0) then
+    invalid_arg "Fbndp: lambda and t0 must be positive";
+  if m < 1 then invalid_arg "Fbndp: M must be at least 1";
+  let r = 2.0 *. lambda /. float_of_int m in
+  (* T0^alpha = K / (R A^(1-alpha))  =>  A = (T0^alpha R / K)^(1/(alpha-1)). *)
+  let a = ((t0 ** alpha) *. r /. onset_constant alpha) ** (1.0 /. (alpha -. 1.0)) in
+  create ~alpha ~a ~m ~r
+
+let frame_mean t ~ts = lambda t *. ts
+
+let frame_variance t ~ts =
+  let t0 = fractal_onset_time t in
+  (1.0 +. ((ts /. t0) ** t.alpha)) *. lambda t *. ts
+
+let of_moments ~alpha ~mean ~variance ~m ~ts =
+  check_alpha alpha;
+  if not (ts > 0.0) then invalid_arg "Fbndp: frame duration must be positive";
+  if not (variance > mean) then
+    invalid_arg "Fbndp: frame variance must exceed the Poisson floor (mean)";
+  let lambda = mean /. ts in
+  (* variance/mean = 1 + (ts/t0)^alpha  =>  t0 = ts / (var/mean - 1)^(1/alpha). *)
+  let ratio = (variance /. mean) -. 1.0 in
+  let t0 = ts /. (ratio ** (1.0 /. alpha)) in
+  of_target ~alpha ~lambda ~t0 ~m
+
+let g_factor t ~ts =
+  let t0 = fractal_onset_time t in
+  (ts ** t.alpha) /. ((ts ** t.alpha) +. (t0 ** t.alpha))
+
+(* (1/2) * second central difference of k^(alpha+1). *)
+let half_nabla2 alpha k =
+  assert (k >= 1);
+  let e = alpha +. 1.0 in
+  let kf = float_of_int k in
+  0.5
+  *. (((kf +. 1.0) ** e) -. (2.0 *. (kf ** e)) +. ((kf -. 1.0) ** e))
+
+let frame_acf t ~ts k =
+  assert (k >= 0);
+  if k = 0 then 1.0 else g_factor t ~ts *. half_nabla2 t.alpha k
+
+let process t ~ts =
+  assert (ts > 0.0);
+  let dist = Onoff_dist.of_alpha ~alpha:t.alpha ~a:t.a in
+  let spawn rng =
+    let sources =
+      Array.init t.m (fun i ->
+          Fractal_onoff.create dist (Numerics.Rng.jump_to_substream rng i))
+    in
+    let poisson_rng = Numerics.Rng.split rng in
+    fun () ->
+      let on_time = ref 0.0 in
+      for i = 0 to t.m - 1 do
+        on_time := !on_time +. Fractal_onoff.on_time sources.(i) ~dt:ts
+      done;
+      float_of_int (Numerics.Dist.poisson poisson_rng ~mean:(t.r *. !on_time))
+  in
+  {
+    Process.name =
+      Printf.sprintf "FBNDP(alpha=%g,M=%d,lambda=%g)" t.alpha t.m (lambda t);
+    mean = frame_mean t ~ts;
+    variance = frame_variance t ~ts;
+    acf = frame_acf t ~ts;
+    hurst = Some (hurst t);
+    spawn;
+  }

@@ -1,0 +1,35 @@
+type t = {
+  dist : Onoff_dist.t;
+  rng : Numerics.Rng.t;
+  mutable on : bool;
+  mutable remaining : float;  (** time left in the current period *)
+}
+
+let create dist rng =
+  {
+    dist;
+    rng;
+    on = Numerics.Rng.bool rng;
+    remaining = Onoff_dist.equilibrium_sample dist rng;
+  }
+
+let is_on t = t.on
+
+let on_time t ~dt =
+  assert (dt > 0.0);
+  let acc = ref 0.0 in
+  let left = ref dt in
+  while !left > 0.0 do
+    if t.remaining > !left then begin
+      if t.on then acc := !acc +. !left;
+      t.remaining <- t.remaining -. !left;
+      left := 0.0
+    end
+    else begin
+      if t.on then acc := !acc +. t.remaining;
+      left := !left -. t.remaining;
+      t.on <- not t.on;
+      t.remaining <- Onoff_dist.sample t.dist t.rng
+    end
+  done;
+  !acc

@@ -1,0 +1,38 @@
+(** The M/G/infinity (Cox) input model: the LRD construction for which
+    Likhanov et al. and Parulekar & Makowski proved hyperbolic buffer
+    asymptotics, included as a second independent LRD substrate.
+
+    Sessions arrive in Poisson batches of rate [session_rate] per frame
+    and remain active for [L] frames, where the holding time has the
+    discrete Pareto law [P(L > j) = (1 + j)^(-beta)] with tail index
+    [beta] in (1, 2).  The frame process is the number of active
+    sessions, optionally scaled to cells/frame.
+
+    Stationary statistics: [X ~ Poisson(session_rate * E L)] and
+    [r(k) = E[(L - k)^+] / E[L]], which decays like [k^(1-beta)], so
+    [H = (3 - beta) / 2]. *)
+
+type params = private {
+  beta : float;          (** holding-time tail index, in (1, 2) *)
+  session_rate : float;  (** expected session arrivals per frame *)
+  cells_per_session : float;  (** linear scaling to cells/frame *)
+}
+
+val create :
+  beta:float -> session_rate:float -> ?cells_per_session:float -> unit -> params
+
+val mean_holding : params -> float
+(** [E L = zeta(beta)], evaluated numerically. *)
+
+val acf : params -> int -> float
+
+val hurst : params -> float
+
+val frame_mean : params -> float
+val frame_variance : params -> float
+
+val process : params -> Process.t
+(** Event-driven simulation: active-session count updated by Poisson
+    arrivals and scheduled departures; exact stationary start (Poisson
+    number of initial sessions with equilibrium residual holding
+    times). *)

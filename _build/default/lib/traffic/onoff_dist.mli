@@ -1,0 +1,46 @@
+(** The heavy-tailed ON/OFF duration distribution of the fractal
+    point-process construction (Ryu & Lowen):
+
+    {v
+      p(t) = (gamma/A) exp(-gamma t / A)                 for t <= A
+      p(t) = gamma exp(-gamma) A^gamma t^-(gamma+1)      for t >  A
+    v}
+
+    with [gamma = 2 - alpha] in (1, 2): exponential body, Pareto tail of
+    index [gamma], so the mean is finite but the variance is infinite —
+    this is what makes the driven point process exactly long-range
+    dependent with [H = (alpha + 1)/2]. *)
+
+type t = private {
+  gamma : float;  (** tail index, in (1, 2) *)
+  a : float;      (** body/tail breakpoint A > 0 (seconds) *)
+  mean : float;   (** E[T], closed form *)
+}
+
+val create : gamma:float -> a:float -> t
+(** Raises [Invalid_argument] unless [1 < gamma < 2] and [a > 0]. *)
+
+val of_alpha : alpha:float -> a:float -> t
+(** [of_alpha ~alpha] is [create ~gamma:(2 - alpha)]; [alpha] in (0,1). *)
+
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+
+val survival : t -> float -> float
+(** [survival t x] is [P(T > x)]. *)
+
+val sample : t -> Numerics.Rng.t -> float
+(** Exact inverse-CDF sampling. *)
+
+val equilibrium_cdf : t -> float -> float
+(** CDF of the equilibrium (integrated-tail) distribution
+    [F_e(x) = (1/mean) * integral_0^x P(T > u) du]: the law of the
+    residual duration seen by a stationary observer.  Note the
+    equilibrium distribution has an infinite mean (tail index
+    [gamma - 1 < 1]) — the root cause of slow simulation convergence
+    for LRD traffic that the paper works around with heavy
+    replication. *)
+
+val equilibrium_sample : t -> Numerics.Rng.t -> float
+(** Exact inverse-CDF sampling from the equilibrium distribution, used
+    to start every ON/OFF process in steady state. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Numerics QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_ascii_plot.ml: Array Experiments Helpers String

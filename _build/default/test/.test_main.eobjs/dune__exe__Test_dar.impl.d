@@ -1,0 +1,1 @@
+test/test_dar.ml: Alcotest Array Float Helpers List Printf QCheck2 Stats Traffic

@@ -1,0 +1,1 @@
+test/test_dist.ml: Array Float Helpers Numerics Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Filename Float Fun Helpers List Printf Stdlib Sys Traffic Unix

@@ -1,0 +1,1 @@
+test/test_farima_mg.ml: Array Helpers List Numerics Printf Stats Traffic

@@ -1,0 +1,1 @@
+test/test_fbndp.ml: Alcotest Array Float Helpers Printf QCheck2 Stats Stdlib Traffic

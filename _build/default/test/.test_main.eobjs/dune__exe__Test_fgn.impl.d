@@ -1,0 +1,1 @@
+test/test_fgn.ml: Array Helpers Numerics Printf QCheck2 Stats Stdlib Traffic

@@ -1,0 +1,1 @@
+test/test_float_array.ml: Array Float Helpers Numerics QCheck2 Stdlib

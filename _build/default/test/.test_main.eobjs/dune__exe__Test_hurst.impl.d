@@ -1,0 +1,1 @@
+test/test_hurst.ml: Array Helpers List Numerics Printf Stats Traffic

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Core Experiments Filename Float Fun Helpers List Numerics Stats Sys Traffic

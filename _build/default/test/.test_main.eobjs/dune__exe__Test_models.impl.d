@@ -1,0 +1,1 @@
+test/test_models.ml: Array Float Helpers List Printf Stats Traffic

@@ -1,0 +1,1 @@
+test/test_mpeg.ml: Alcotest Array Core Helpers List Numerics Printf Stats Traffic

@@ -1,0 +1,1 @@
+test/test_new_dist.ml: Helpers List Numerics Printf QCheck2 Traffic

@@ -1,0 +1,1 @@
+test/test_onoff.ml: Alcotest Array Helpers List Numerics Printf QCheck2 Stdlib Traffic

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Float Helpers Numerics QCheck2

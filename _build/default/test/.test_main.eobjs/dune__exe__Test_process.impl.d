@@ -1,0 +1,1 @@
+test/test_process.ml: Array Float Helpers Numerics Printf QCheck2 Stats Traffic

@@ -1,0 +1,1 @@
+test/test_quadrature.ml: Float Helpers Numerics QCheck2

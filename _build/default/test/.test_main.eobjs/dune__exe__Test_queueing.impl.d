@@ -1,0 +1,1 @@
+test/test_queueing.ml: Array Helpers Numerics Printf QCheck2 Queueing Stats Stdlib Traffic

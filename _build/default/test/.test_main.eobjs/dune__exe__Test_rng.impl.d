@@ -1,0 +1,1 @@
+test/test_rng.ml: Array Helpers Numerics Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_shaper.ml: Array Core Helpers Printf QCheck2 Stats Traffic

@@ -1,0 +1,1 @@
+test/test_special.ml: Float Helpers List Numerics Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_spectrum.ml: Core Helpers List Printf QCheck2 Traffic

@@ -1,0 +1,1 @@
+test/test_stats.ml: Array Float Helpers List Numerics Printf QCheck2 Stats

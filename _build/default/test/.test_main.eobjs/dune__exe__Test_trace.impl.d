@@ -1,0 +1,1 @@
+test/test_trace.ml: Array Filename Fun Helpers Printf Sys Traffic

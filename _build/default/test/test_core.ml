@@ -1,0 +1,309 @@
+open Helpers
+
+let ar1_vg rho variance =
+  Core.Variance_growth.create ~variance ~acf:(fun k -> rho ** float_of_int k)
+
+let test_variance_growth_vs_naive () =
+  let rho = 0.7 and variance = 5000.0 in
+  let vg = ar1_vg rho variance in
+  let naive m =
+    let acc = ref (float_of_int m) in
+    for i = 1 to m do
+      acc := !acc +. (2.0 *. float_of_int (m - i) *. (rho ** float_of_int i))
+    done;
+    variance *. !acc
+  in
+  List.iter
+    (fun m ->
+      check_close_rel ~tol:1e-10
+        (Printf.sprintf "V(%d)" m)
+        (naive m)
+        (Core.Variance_growth.v vg m))
+    [ 1; 2; 3; 5; 10; 100; 1000 ]
+
+let test_variance_growth_v1 () =
+  let vg = ar1_vg 0.9 1234.0 in
+  check_close "V(1) = sigma^2" 1234.0 (Core.Variance_growth.v vg 1)
+
+let test_variance_growth_iid () =
+  let vg = Core.Variance_growth.create ~variance:2.0 ~acf:(fun _ -> 0.0) in
+  List.iter
+    (fun m ->
+      check_close
+        (Printf.sprintf "iid V(%d) = m sigma^2" m)
+        (2.0 *. float_of_int m)
+        (Core.Variance_growth.v vg m))
+    [ 1; 7; 64 ]
+
+let test_variance_growth_lrd_asymptote () =
+  (* For exact LRD, V(m) ~ g sigma^2 m^2H. *)
+  let h = 0.9 and g = 0.9 in
+  let acf k = if k = 0 then 1.0 else g *. Traffic.Fgn.acf ~h k in
+  let vg = Core.Variance_growth.create ~variance:1.0 ~acf in
+  let ratio m = Core.Variance_growth.v vg m /. (g *. (float_of_int m ** (2.0 *. h))) in
+  check_close ~tol:0.02 "LRD variance growth exponent" 1.0 (ratio 5000)
+
+let test_truncated () =
+  let vg = ar1_vg 0.8 100.0 in
+  let tr = Core.Variance_growth.truncated vg ~at:3 in
+  (* Same up to the truncation lag... *)
+  check_close_rel ~tol:1e-12 "V(2) unchanged" (Core.Variance_growth.v vg 2)
+    (Core.Variance_growth.v tr 2);
+  (* ...smaller beyond it. *)
+  check_true "V(50) reduced"
+    (Core.Variance_growth.v tr 50 < Core.Variance_growth.v vg 50)
+
+let test_cts_zero_buffer () =
+  let vg = ar1_vg 0.9 5000.0 in
+  let a = Core.Cts.analyze vg ~mu:500.0 ~c:538.0 ~b:0.0 in
+  check_int "m*(0) = 1: correlations are irrelevant at zero buffer" 1
+    a.Core.Cts.m_star;
+  (* I(c, 0) = (c - mu)^2 / (2 sigma^2) *)
+  check_close_rel ~tol:1e-12 "I(c,0)" (38.0 *. 38.0 /. 10000.0) a.Core.Cts.rate
+
+let test_cts_monotone_in_buffer () =
+  let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let vg =
+    Core.Variance_growth.create ~acf:z.Traffic.Process.acf
+      ~variance:z.Traffic.Process.variance
+  in
+  let prev = ref 0 in
+  List.iter
+    (fun b ->
+      let a = Core.Cts.analyze vg ~mu:500.0 ~c:538.0 ~b in
+      check_true
+        (Printf.sprintf "m* non-decreasing at b = %g" b)
+        (a.Core.Cts.m_star >= !prev);
+      prev := a.Core.Cts.m_star)
+    [ 0.0; 10.0; 50.0; 100.0; 200.0; 400.0 ]
+
+let test_cts_ar1_constant () =
+  (* For Gaussian AR(1), m* grows like b / (c - mu) (paper, citing
+     Courcoubetis & Weber).  The absolute value carries a finite-b
+     offset from the sublinear part of V(m), so test the slope. *)
+  let vg = ar1_vg 0.9 5000.0 in
+  let c = 538.0 and mu = 500.0 in
+  let m_at b = float_of_int (Core.Cts.analyze vg ~mu ~c ~b).Core.Cts.m_star in
+  let slope = (m_at 8000.0 -. m_at 4000.0) /. 4000.0 in
+  check_close_rel ~tol:0.05 "AR(1) CTS slope 1/(c-mu)"
+    (1.0 /. (c -. mu))
+    slope
+
+let test_cts_lrd_constant () =
+  (* For exact-LRD Gaussian, m* ~ H b / ((1-H)(c - mu)). *)
+  let h = 0.86 in
+  let acf k = if k = 0 then 1.0 else Traffic.Fgn.acf ~h k in
+  let vg = Core.Variance_growth.create ~variance:5000.0 ~acf in
+  let b = 1000.0 and c = 538.0 and mu = 500.0 in
+  let a = Core.Cts.analyze vg ~mu ~c ~b in
+  check_close_rel ~tol:0.05 "LRD CTS closed form"
+    (Core.Cts.lrd_closed_form ~h ~mu ~c ~b)
+    (float_of_int a.Core.Cts.m_star)
+
+let test_cts_requires_stability () =
+  let vg = ar1_vg 0.5 100.0 in
+  Alcotest.check_raises "c <= mu rejected"
+    (Invalid_argument "Cts.analyze: need c > mu (got c = 400, mu = 500)")
+    (fun () -> ignore (Core.Cts.analyze vg ~mu:500.0 ~c:400.0 ~b:10.0))
+
+let test_truncation_beyond_cts_is_free () =
+  (* The CTS theorem in action: chopping the ACF beyond m* leaves the
+     rate function unchanged. *)
+  let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let vg =
+    Core.Variance_growth.create ~acf:z.Traffic.Process.acf
+      ~variance:z.Traffic.Process.variance
+  in
+  let b = 134.5 (* 10 msec at c=538, per-source *) in
+  let a = Core.Cts.analyze vg ~mu:500.0 ~c:538.0 ~b in
+  let tr = Core.Variance_growth.truncated vg ~at:a.Core.Cts.m_star in
+  let a' = Core.Cts.analyze tr ~mu:500.0 ~c:538.0 ~b in
+  check_close_rel ~tol:1e-9 "rate unchanged by truncation at m*"
+    a.Core.Cts.rate a'.Core.Cts.rate;
+  check_int "m* unchanged" a.Core.Cts.m_star a'.Core.Cts.m_star
+
+let test_bahadur_rao_vs_large_n () =
+  let vg = ar1_vg 0.82 5000.0 in
+  let br = Core.Bahadur_rao.evaluate vg ~mu:500.0 ~c:538.0 ~b:134.5 ~n:30 in
+  let ln = Core.Large_n.evaluate vg ~mu:500.0 ~c:538.0 ~b:134.5 ~n:30 in
+  (* B-R = Large-N * correction, correction = -0.5 log10(4 pi N I). *)
+  let expected_gap =
+    0.5 *. log10 (4.0 *. 4.0 *. atan 1.0 *. 30.0 *. br.Core.Bahadur_rao.cts.Core.Cts.rate)
+  in
+  check_close ~tol:1e-9 "B-R refines Large-N by the log prefactor"
+    (ln.Core.Large_n.log10_bop -. expected_gap)
+    br.Core.Bahadur_rao.log10_bop;
+  check_true "B-R below Large-N"
+    (br.Core.Bahadur_rao.log10_bop < ln.Core.Large_n.log10_bop)
+
+let test_bop_decreasing_in_buffer () =
+  let vg = ar1_vg 0.9 5000.0 in
+  let prev = ref 0.0 in
+  List.iter
+    (fun b ->
+      let r = Core.Bahadur_rao.evaluate vg ~mu:500.0 ~c:538.0 ~b ~n:30 in
+      check_true "log BOP decreasing" (r.Core.Bahadur_rao.log10_bop < !prev);
+      prev := r.Core.Bahadur_rao.log10_bop)
+    [ 10.0; 50.0; 100.0; 200.0 ]
+
+let test_bop_decreasing_in_capacity () =
+  let vg = ar1_vg 0.9 5000.0 in
+  let prev = ref 0.0 in
+  List.iter
+    (fun c ->
+      let r = Core.Bahadur_rao.evaluate vg ~mu:500.0 ~c ~b:100.0 ~n:30 in
+      check_true "log BOP decreasing in c" (r.Core.Bahadur_rao.log10_bop < !prev);
+      prev := r.Core.Bahadur_rao.log10_bop)
+    [ 520.0; 538.0; 560.0; 600.0 ]
+
+let test_evaluate_total () =
+  let vg = ar1_vg 0.8 5000.0 in
+  let a = Core.Bahadur_rao.evaluate vg ~mu:500.0 ~c:538.0 ~b:134.5 ~n:30 in
+  let b =
+    Core.Bahadur_rao.evaluate_total vg ~mu:500.0
+      ~total_capacity:(30.0 *. 538.0) ~total_buffer:(30.0 *. 134.5) ~n:30
+  in
+  check_close ~tol:1e-12 "total and per-source forms agree"
+    a.Core.Bahadur_rao.log10_bop b.Core.Bahadur_rao.log10_bop
+
+let test_weibull_kappa () =
+  check_close ~tol:1e-12 "kappa(1/2)" 0.5 (Core.Weibull_lrd.kappa 0.5);
+  (* kappa(h) = kappa(1-h) *)
+  check_close ~tol:1e-12 "kappa symmetric"
+    (Core.Weibull_lrd.kappa 0.3)
+    (Core.Weibull_lrd.kappa 0.7)
+
+let test_weibull_vs_br_fgn () =
+  (* On pure fGn the closed form and the numeric rate agree closely for
+     buffers with large m*. *)
+  let h = 0.86 in
+  let src = { Core.Weibull_lrd.h; g = 1.0; mu = 500.0; variance = 5000.0 } in
+  let acf k = if k = 0 then 1.0 else Traffic.Fgn.acf ~h k in
+  let vg = Core.Variance_growth.create ~variance:5000.0 ~acf in
+  List.iter
+    (fun b ->
+      let closed = Core.Weibull_lrd.rate src ~c:538.0 ~b in
+      let numeric = (Core.Cts.analyze vg ~mu:500.0 ~c:538.0 ~b).Core.Cts.rate in
+      check_close_rel ~tol:0.05
+        (Printf.sprintf "rates agree at b = %g" b)
+        closed numeric)
+    [ 200.0; 500.0; 1000.0 ]
+
+let test_weibull_reduces_to_loglinear () =
+  (* H -> 1/2 (and g = 1): J is linear in b, i.e. log-linear BOP, the
+     effective-bandwidth regime. *)
+  let src = { Core.Weibull_lrd.h = 0.5; g = 1.0; mu = 500.0; variance = 5000.0 } in
+  let j1 = Core.Weibull_lrd.j src ~c:538.0 ~b:100.0 ~n:30 in
+  let j2 = Core.Weibull_lrd.j src ~c:538.0 ~b:200.0 ~n:30 in
+  check_close_rel ~tol:1e-9 "J doubles with b at H = 1/2" 2.0 (j2 /. j1)
+
+let test_weibull_subexponential () =
+  (* For H > 1/2, doubling the buffer multiplies J by 2^(2-2H) < 2 —
+     the Weibull (sub-exponential) slowdown. *)
+  let src = { Core.Weibull_lrd.h = 0.9; g = 1.0; mu = 500.0; variance = 5000.0 } in
+  let j1 = Core.Weibull_lrd.j src ~c:538.0 ~b:100.0 ~n:30 in
+  let j2 = Core.Weibull_lrd.j src ~c:538.0 ~b:200.0 ~n:30 in
+  check_close_rel ~tol:1e-9 "Weibull exponent 2 - 2H"
+    (2.0 ** 0.2)
+    (j2 /. j1)
+
+let test_admission_monotone () =
+  let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let vg =
+    Core.Variance_growth.create ~acf:z.Traffic.Process.acf
+      ~variance:z.Traffic.Process.variance
+  in
+  let capacity = 16140.0 in
+  let n_strict =
+    Core.Admission.max_admissible vg ~mu:500.0 ~total_capacity:capacity
+      ~total_buffer:4035.0 ~target_clr:1e-9
+  in
+  let n_loose =
+    Core.Admission.max_admissible vg ~mu:500.0 ~total_capacity:capacity
+      ~total_buffer:4035.0 ~target_clr:1e-4
+  in
+  check_true "looser target admits at least as many" (n_loose >= n_strict);
+  check_true "something admitted" (n_strict >= 1);
+  check_true "stability respected"
+    (float_of_int n_loose *. 500.0 < capacity)
+
+let test_admission_feasibility_boundary () =
+  let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
+  let vg =
+    Core.Variance_growth.create ~acf:z.Traffic.Process.acf
+      ~variance:z.Traffic.Process.variance
+  in
+  let capacity = 16140.0 and buffer = 4035.0 and target = 1e-6 in
+  let n =
+    Core.Admission.max_admissible vg ~mu:500.0 ~total_capacity:capacity
+      ~total_buffer:buffer ~target_clr:target
+  in
+  check_true "admitted count positive" (n >= 1);
+  (* n is feasible... *)
+  let bop n =
+    (Core.Bahadur_rao.evaluate_total vg ~mu:500.0 ~total_capacity:capacity
+       ~total_buffer:buffer ~n)
+      .Core.Bahadur_rao.log10_bop
+  in
+  check_true "n feasible" (bop n <= log10 target);
+  (* ...and n+1 is not (or hits the stability ceiling). *)
+  let next = n + 1 in
+  if float_of_int next *. 500.0 < capacity then
+    check_true "n+1 infeasible" (bop next > log10 target)
+
+let test_required_capacity () =
+  let vg = ar1_vg 0.82 5000.0 in
+  let c =
+    Core.Admission.required_capacity vg ~mu:500.0 ~n:30 ~total_buffer:4035.0
+      ~target_clr:1e-6
+  in
+  check_true "above mean load" (c > 15000.0);
+  let per_source =
+    Core.Admission.effective_bandwidth_per_source vg ~mu:500.0 ~n:30
+      ~total_buffer:4035.0 ~target_clr:1e-6
+  in
+  check_close_rel ~tol:1e-9 "per-source consistency" (c /. 30.0) per_source;
+  check_true "effective bandwidth above mean" (per_source > 500.0);
+  (* Verify the returned capacity indeed meets the target. *)
+  let r =
+    Core.Bahadur_rao.evaluate_total vg ~mu:500.0 ~total_capacity:c
+      ~total_buffer:4035.0 ~n:30
+  in
+  check_true "capacity meets CLR target" (r.Core.Bahadur_rao.log10_bop <= -6.0)
+
+let suite =
+  [
+    case "V(m) matches naive evaluation" test_variance_growth_vs_naive;
+    case "V(1) = sigma^2" test_variance_growth_v1;
+    case "V(m) for iid" test_variance_growth_iid;
+    case "V(m) LRD asymptote m^2H" test_variance_growth_lrd_asymptote;
+    case "truncated ACF" test_truncated;
+    case "CTS at zero buffer" test_cts_zero_buffer;
+    case "CTS monotone in buffer" test_cts_monotone_in_buffer;
+    case "CTS AR(1) slope" test_cts_ar1_constant;
+    case "CTS LRD closed form" test_cts_lrd_constant;
+    case "CTS requires c > mu" test_cts_requires_stability;
+    case "truncating ACF beyond m* is free" test_truncation_beyond_cts_is_free;
+    case "B-R vs Large-N relation" test_bahadur_rao_vs_large_n;
+    case "BOP decreasing in buffer" test_bop_decreasing_in_buffer;
+    case "BOP decreasing in capacity" test_bop_decreasing_in_capacity;
+    case "total vs per-source forms" test_evaluate_total;
+    case "kappa" test_weibull_kappa;
+    case "Weibull vs B-R on fGn" test_weibull_vs_br_fgn;
+    case "Weibull reduces to log-linear at H=1/2" test_weibull_reduces_to_loglinear;
+    case "Weibull sub-exponential scaling" test_weibull_subexponential;
+    case "admission monotone in target" test_admission_monotone;
+    case "admission boundary exact" test_admission_feasibility_boundary;
+    case "required capacity" test_required_capacity;
+    qcheck ~count:50 "CTS finite and positive rate"
+      QCheck2.Gen.(pair (float_range 0.1 0.95) (float_range 0.0 500.0))
+      (fun (rho, b) ->
+        let vg = ar1_vg rho 5000.0 in
+        let a = Core.Cts.analyze vg ~mu:500.0 ~c:538.0 ~b in
+        a.Core.Cts.m_star >= 1 && a.Core.Cts.rate > 0.0);
+    qcheck ~count:30 "stronger correlations inflate V(m)"
+      QCheck2.Gen.(int_range 2 500)
+      (fun m ->
+        let weak = ar1_vg 0.3 100.0 and strong = ar1_vg 0.9 100.0 in
+        Core.Variance_growth.v strong m > Core.Variance_growth.v weak m);
+  ]

@@ -1,0 +1,144 @@
+open Helpers
+
+let gaussian_marginal = Traffic.Dar.gaussian_marginal ~mean:500.0 ~variance:5000.0
+
+let test_validate () =
+  Traffic.Dar.validate { Traffic.Dar.rho = 0.5; weights = [| 0.5; 0.5 |] };
+  Alcotest.check_raises "rho out of range"
+    (Invalid_argument "Dar: rho = 1.2 outside [0, 1)")
+    (fun () ->
+      Traffic.Dar.validate { Traffic.Dar.rho = 1.2; weights = [| 1.0 |] });
+  Alcotest.check_raises "weights must sum to 1"
+    (Invalid_argument "Dar: weights sum to 0.8, expected 1")
+    (fun () ->
+      Traffic.Dar.validate { Traffic.Dar.rho = 0.5; weights = [| 0.8 |] })
+
+let test_dar1_acf_geometric () =
+  let params = { Traffic.Dar.rho = 0.8; weights = [| 1.0 |] } in
+  for k = 0 to 20 do
+    check_close ~tol:1e-12
+      (Printf.sprintf "DAR(1) lag %d" k)
+      (0.8 ** float_of_int k)
+      (Traffic.Dar.acf params k)
+  done
+
+let test_acf_fun_consistent () =
+  let params = { Traffic.Dar.rho = 0.9; weights = [| 0.6; 0.3; 0.1 |] } in
+  let f = Traffic.Dar.acf_fun params in
+  List.iter
+    (fun k ->
+      check_close ~tol:1e-12
+        (Printf.sprintf "memoized acf at %d" k)
+        (Traffic.Dar.acf params k) (f k))
+    [ 0; 1; 2; 3; 10; 100; 50; 200 ]
+
+let test_acf_satisfies_recursion () =
+  let params = { Traffic.Dar.rho = 0.85; weights = [| 0.5; 0.3; 0.2 |] } in
+  let r = Traffic.Dar.acf_fun params in
+  (* r(k) = rho sum_i a_i r(|k-i|), including the implicit small-k range. *)
+  for k = 1 to 30 do
+    let rhs =
+      0.85
+      *. ((0.5 *. r (abs (k - 1)))
+         +. (0.3 *. r (abs (k - 2)))
+         +. (0.2 *. r (abs (k - 3))))
+    in
+    check_close ~tol:1e-10 (Printf.sprintf "YW recursion at %d" k) rhs (r k)
+  done
+
+let test_fit_recovers_dar () =
+  (* Fitting a DAR(p) to the ACF of a DAR(p) must return the same
+     parameters. *)
+  let params = { Traffic.Dar.rho = 0.9; weights = [| 0.7; 0.2; 0.1 |] } in
+  let fitted = Traffic.Dar.fit ~target_acf:(Traffic.Dar.acf_fun params) ~p:3 in
+  check_close ~tol:1e-9 "rho recovered" 0.9 fitted.Traffic.Dar.rho;
+  Array.iteri
+    (fun i w ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "weight %d recovered" i)
+        params.Traffic.Dar.weights.(i) w)
+    fitted.Traffic.Dar.weights
+
+let test_fit_matches_first_p_lags () =
+  let z = (Traffic.Models.z ~a:0.9).Traffic.Models.process in
+  List.iter
+    (fun p ->
+      let fitted = Traffic.Dar.fit ~target_acf:z.Traffic.Process.acf ~p in
+      let r = Traffic.Dar.acf_fun fitted in
+      for k = 1 to p do
+        check_close ~tol:1e-9
+          (Printf.sprintf "DAR(%d) matches lag %d" p k)
+          (z.Traffic.Process.acf k) (r k)
+      done)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_simulated_marginal () =
+  let process =
+    Traffic.Dar.make gaussian_marginal { Traffic.Dar.rho = 0.8; weights = [| 1.0 |] }
+  in
+  let x = Traffic.Process.generate process (rng ~seed:71 ()) 100_000 in
+  let s = Stats.Descriptive.summarize x in
+  check_close ~tol:5.0 "marginal mean" 500.0 s.Stats.Descriptive.mean;
+  check_close_rel ~tol:0.05 "marginal variance" 5000.0 s.Stats.Descriptive.variance
+
+let test_simulated_acf () =
+  let params = { Traffic.Dar.rho = 0.75; weights = [| 0.7; 0.3 |] } in
+  let process = Traffic.Dar.make gaussian_marginal params in
+  let x = Traffic.Process.generate process (rng ~seed:73 ()) 300_000 in
+  let sample = Stats.Acf.autocorrelation_fft x ~max_lag:10 in
+  let r = Traffic.Dar.acf_fun params in
+  for k = 1 to 10 do
+    check_close ~tol:0.02
+      (Printf.sprintf "simulated acf lag %d" k)
+      (r k) sample.(k)
+  done
+
+let test_process_metadata () =
+  let params = { Traffic.Dar.rho = 0.8; weights = [| 1.0 |] } in
+  let process = Traffic.Dar.make gaussian_marginal params in
+  check_close "mean" 500.0 process.Traffic.Process.mean;
+  check_close "variance" 5000.0 process.Traffic.Process.variance;
+  check_true "SRD: no hurst" (process.Traffic.Process.hurst = None)
+
+let random_valid_params =
+  QCheck2.Gen.(
+    let* p = int_range 1 4 in
+    let* rho = float_range 0.05 0.95 in
+    let* raw = array_size (return p) (float_range 0.05 1.0) in
+    let total = Array.fold_left ( +. ) 0.0 raw in
+    return
+      { Traffic.Dar.rho; weights = Array.map (fun w -> w /. total) raw })
+
+let suite =
+  [
+    case "validate" test_validate;
+    case "DAR(1) geometric acf" test_dar1_acf_geometric;
+    case "memoized acf" test_acf_fun_consistent;
+    case "acf satisfies the YW recursion" test_acf_satisfies_recursion;
+    case "fit recovers DAR parameters" test_fit_recovers_dar;
+    case "fit matches first p lags of Z" test_fit_matches_first_p_lags;
+    case "simulated marginal" test_simulated_marginal;
+    slow_case "simulated acf" test_simulated_acf;
+    case "process metadata" test_process_metadata;
+    qcheck ~count:50 "fit(acf(params)) = params" random_valid_params
+      (fun params ->
+        let p = Array.length params.Traffic.Dar.weights in
+        match Traffic.Dar.fit ~target_acf:(Traffic.Dar.acf_fun params) ~p with
+        | fitted ->
+            Float.abs (fitted.Traffic.Dar.rho -. params.Traffic.Dar.rho) < 1e-6
+            && Array.for_all2
+                 (fun a b -> Float.abs (a -. b) < 1e-6)
+                 fitted.Traffic.Dar.weights params.Traffic.Dar.weights
+        | exception Invalid_argument _ ->
+            (* Near-degenerate weights can produce an ill-conditioned
+               Toeplitz system; rejecting is acceptable behaviour. *)
+            true);
+    qcheck ~count:50 "analytic acf stays in [-1, 1]" random_valid_params
+      (fun params ->
+        let r = Traffic.Dar.acf_fun params in
+        let ok = ref true in
+        for k = 0 to 200 do
+          if Float.abs (r k) > 1.0 +. 1e-9 then ok := false
+        done;
+        !ok);
+  ]

@@ -1,0 +1,162 @@
+open Helpers
+
+let sample_moments n f =
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = f () in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  let var = (!acc2 /. float_of_int n) -. (mean *. mean) in
+  (mean, var)
+
+let test_exponential () =
+  let a = rng () in
+  let mean, var =
+    sample_moments 200_000 (fun () -> Numerics.Dist.exponential a ~rate:2.0)
+  in
+  check_close ~tol:0.01 "exp mean 1/rate" 0.5 mean;
+  check_close ~tol:0.01 "exp var 1/rate^2" 0.25 var
+
+let test_gaussian () =
+  let a = rng () in
+  let mean, var =
+    sample_moments 200_000 (fun () ->
+        Numerics.Dist.gaussian a ~mean:3.0 ~std:2.0)
+  in
+  check_close ~tol:0.03 "gaussian mean" 3.0 mean;
+  check_close ~tol:0.08 "gaussian variance" 4.0 var
+
+let test_gaussian_tails () =
+  let a = rng () in
+  let n = 200_000 in
+  let beyond = ref 0 in
+  for _ = 1 to n do
+    if Float.abs (Numerics.Dist.standard_gaussian a) > 1.959964 then
+      incr beyond
+  done;
+  check_close ~tol:0.004 "5% outside +-1.96"
+    0.05
+    (float_of_int !beyond /. float_of_int n)
+
+let poisson_check mean_target =
+  let a = rng ~seed:(int_of_float (mean_target *. 7.0) + 3) () in
+  let mean, var =
+    sample_moments 200_000 (fun () ->
+        float_of_int (Numerics.Dist.poisson a ~mean:mean_target))
+  in
+  check_close_rel ~tol:0.02
+    (Printf.sprintf "poisson(%g) mean" mean_target)
+    mean_target mean;
+  check_close_rel ~tol:0.03
+    (Printf.sprintf "poisson(%g) variance" mean_target)
+    mean_target var
+
+let test_poisson_small () = poisson_check 3.7
+let test_poisson_boundary () = poisson_check 11.9
+
+(* Exercises the PTRD branch. *)
+let test_poisson_large () = poisson_check 250.0
+
+let test_pareto () =
+  let a = rng () in
+  (* shape 3 has finite mean and variance: mean = 3/2, var = 3/4 *)
+  let mean, var =
+    sample_moments 400_000 (fun () ->
+        Numerics.Dist.pareto a ~shape:3.0 ~scale:1.0)
+  in
+  check_close ~tol:0.02 "pareto mean" 1.5 mean;
+  check_close ~tol:0.15 "pareto variance" 0.75 var
+
+let test_pareto_tail () =
+  let a = rng () in
+  let n = 100_000 in
+  let beyond = ref 0 in
+  for _ = 1 to n do
+    if Numerics.Dist.pareto a ~shape:1.5 ~scale:2.0 > 8.0 then incr beyond
+  done;
+  (* P(X > 8) = (2/8)^1.5 = 0.125 *)
+  check_close ~tol:0.005 "pareto tail probability" 0.125
+    (float_of_int !beyond /. float_of_int n)
+
+let test_binomial () =
+  let a = rng () in
+  let n = 40 and p = 0.3 in
+  let mean, var =
+    sample_moments 100_000 (fun () ->
+        float_of_int (Numerics.Dist.binomial a ~n ~p))
+  in
+  check_close ~tol:0.05 "binomial mean np" (float_of_int n *. p) mean;
+  check_close ~tol:0.1 "binomial var npq" (float_of_int n *. p *. 0.7) var
+
+let test_geometric () =
+  let a = rng () in
+  let p = 0.25 in
+  let mean, var =
+    sample_moments 200_000 (fun () ->
+        float_of_int (Numerics.Dist.geometric a ~p))
+  in
+  (* failures before success: mean (1-p)/p = 3, var (1-p)/p^2 = 12 *)
+  check_close ~tol:0.05 "geometric mean" 3.0 mean;
+  check_close ~tol:0.35 "geometric variance" 12.0 var
+
+let test_categorical () =
+  let a = rng () in
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Numerics.Dist.categorical a ~weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_close ~tol:0.01
+        (Printf.sprintf "categorical bucket %d" i)
+        (weights.(i) /. 10.0)
+        (float_of_int c /. float_of_int n))
+    counts
+
+let test_discrete_cdf () =
+  let a = rng () in
+  let cdf = [| 0.1; 0.4; 0.4; 1.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Numerics.Dist.discrete_cdf_sample a ~cdf in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_close ~tol:0.01 "mass 0" 0.1 (float_of_int counts.(0) /. float_of_int n);
+  check_close ~tol:0.01 "mass 1" 0.3 (float_of_int counts.(1) /. float_of_int n);
+  check_int "zero-mass bucket untouched" 0 counts.(2);
+  check_close ~tol:0.01 "mass 3" 0.6 (float_of_int counts.(3) /. float_of_int n)
+
+let suite =
+  [
+    case "exponential moments" test_exponential;
+    case "gaussian moments" test_gaussian;
+    case "gaussian tails" test_gaussian_tails;
+    case "poisson small mean" test_poisson_small;
+    case "poisson boundary mean" test_poisson_boundary;
+    case "poisson large mean (PTRD)" test_poisson_large;
+    case "pareto moments" test_pareto;
+    case "pareto tail" test_pareto_tail;
+    case "binomial moments" test_binomial;
+    case "geometric moments" test_geometric;
+    case "categorical frequencies" test_categorical;
+    case "discrete cdf sampling" test_discrete_cdf;
+    qcheck "poisson non-negative" QCheck2.Gen.(float_range 0.0 500.0)
+      (fun mean ->
+        let a = rng ~seed:3 () in
+        Numerics.Dist.poisson a ~mean >= 0);
+    qcheck "binomial within [0, n]" QCheck2.Gen.(pair (int_range 0 200) (float_range 0. 1.))
+      (fun (n, p) ->
+        let a = rng ~seed:5 () in
+        let v = Numerics.Dist.binomial a ~n ~p in
+        v >= 0 && v <= n);
+    qcheck "pareto at least scale" QCheck2.Gen.(pair (float_range 0.5 4.0) (float_range 0.1 10.0))
+      (fun (shape, scale) ->
+        let a = rng ~seed:9 () in
+        Numerics.Dist.pareto a ~shape ~scale >= scale);
+  ]

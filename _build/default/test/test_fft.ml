@@ -1,0 +1,138 @@
+open Helpers
+
+let random_signal n seed =
+  let a = rng ~seed () in
+  Array.init n (fun _ -> Numerics.Dist.standard_gaussian a)
+
+let naive_dft re im =
+  let n = Array.length re in
+  let out_re = Array.make n 0.0 and out_im = Array.make n 0.0 in
+  let pi = 4.0 *. atan 1.0 in
+  for k = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      let angle = -2.0 *. pi *. float_of_int (k * t) /. float_of_int n in
+      out_re.(k) <- out_re.(k) +. (re.(t) *. cos angle) -. (im.(t) *. sin angle);
+      out_im.(k) <- out_im.(k) +. (re.(t) *. sin angle) +. (im.(t) *. cos angle)
+    done
+  done;
+  (out_re, out_im)
+
+let test_next_pow2 () =
+  check_int "next_pow2 0" 1 (Numerics.Fft.next_pow2 0);
+  check_int "next_pow2 1" 1 (Numerics.Fft.next_pow2 1);
+  check_int "next_pow2 5" 8 (Numerics.Fft.next_pow2 5);
+  check_int "next_pow2 64" 64 (Numerics.Fft.next_pow2 64);
+  check_int "next_pow2 65" 128 (Numerics.Fft.next_pow2 65)
+
+let test_vs_naive () =
+  let n = 32 in
+  let re = random_signal n 3 and im = random_signal n 4 in
+  let expect_re, expect_im = naive_dft re im in
+  let got_re = Array.copy re and got_im = Array.copy im in
+  Numerics.Fft.forward ~re:got_re ~im:got_im;
+  for k = 0 to n - 1 do
+    check_close ~tol:1e-9 (Printf.sprintf "re %d" k) expect_re.(k) got_re.(k);
+    check_close ~tol:1e-9 (Printf.sprintf "im %d" k) expect_im.(k) got_im.(k)
+  done
+
+let test_roundtrip () =
+  let n = 256 in
+  let re = random_signal n 5 and im = random_signal n 6 in
+  let work_re = Array.copy re and work_im = Array.copy im in
+  Numerics.Fft.forward ~re:work_re ~im:work_im;
+  Numerics.Fft.inverse ~re:work_re ~im:work_im;
+  for k = 0 to n - 1 do
+    check_close ~tol:1e-10 "roundtrip re" re.(k) work_re.(k);
+    check_close ~tol:1e-10 "roundtrip im" im.(k) work_im.(k)
+  done
+
+let test_parseval () =
+  let n = 128 in
+  let re = random_signal n 7 in
+  let im = Array.make n 0.0 in
+  let time_energy = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 re in
+  let work_re = Array.copy re and work_im = Array.copy im in
+  Numerics.Fft.forward ~re:work_re ~im:work_im;
+  let freq_energy = ref 0.0 in
+  for k = 0 to n - 1 do
+    freq_energy :=
+      !freq_energy +. (work_re.(k) *. work_re.(k)) +. (work_im.(k) *. work_im.(k))
+  done;
+  check_close_rel ~tol:1e-10 "Parseval" time_energy
+    (!freq_energy /. float_of_int n)
+
+let test_delta_spectrum () =
+  let n = 64 in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  re.(0) <- 1.0;
+  Numerics.Fft.forward ~re ~im;
+  for k = 0 to n - 1 do
+    check_close ~tol:1e-12 "delta has flat spectrum" 1.0 re.(k);
+    check_close ~tol:1e-12 "delta has zero phase" 0.0 im.(k)
+  done
+
+let naive_convolve a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb - 1) 0.0 in
+  for i = 0 to la - 1 do
+    for j = 0 to lb - 1 do
+      out.(i + j) <- out.(i + j) +. (a.(i) *. b.(j))
+    done
+  done;
+  out
+
+let test_convolution () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0 |] in
+  let expect = naive_convolve a b in
+  let got = Numerics.Fft.convolve a b in
+  check_int "conv length" (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i e -> check_close ~tol:1e-10 (Printf.sprintf "conv[%d]" i) e got.(i))
+    expect
+
+let test_periodogram_sinusoid () =
+  let n = 1024 in
+  let pi = 4.0 *. atan 1.0 in
+  let freq_index = 64 in
+  let x =
+    Array.init n (fun t ->
+        sin (2.0 *. pi *. float_of_int (freq_index * t) /. float_of_int n))
+  in
+  let spectrum = Numerics.Fft.periodogram x in
+  (* The peak must be at w = 2 pi 64 / 1024. *)
+  let peak = ref 0 in
+  Array.iteri
+    (fun i (_, p) -> if p > snd spectrum.(!peak) then peak := i)
+    spectrum;
+  let w_peak, _ = spectrum.(!peak) in
+  check_close ~tol:1e-9 "periodogram peak frequency"
+    (2.0 *. pi *. float_of_int freq_index /. float_of_int n)
+    w_peak
+
+let suite =
+  [
+    case "next_pow2" test_next_pow2;
+    case "matches naive DFT" test_vs_naive;
+    case "forward/inverse roundtrip" test_roundtrip;
+    case "Parseval identity" test_parseval;
+    case "delta spectrum" test_delta_spectrum;
+    case "convolution vs naive" test_convolution;
+    case "periodogram locates a sinusoid" test_periodogram_sinusoid;
+    qcheck "convolution matches naive on random input"
+      QCheck2.Gen.(pair (int_range 1 40) (int_range 1 40))
+      (fun (la, lb) ->
+        let a = random_signal la (la + 100) in
+        let b = random_signal lb (lb + 200) in
+        let expect = naive_convolve a b in
+        let got = Numerics.Fft.convolve a b in
+        Array.for_all2 (fun e g -> Float.abs (e -. g) < 1e-8) expect got);
+    qcheck "roundtrip on random power-of-two sizes" QCheck2.Gen.(int_range 0 8)
+      (fun log_n ->
+        let n = 1 lsl log_n in
+        let re = random_signal n 17 and im = random_signal n 19 in
+        let wr = Array.copy re and wi = Array.copy im in
+        Numerics.Fft.forward ~re:wr ~im:wi;
+        Numerics.Fft.inverse ~re:wr ~im:wi;
+        Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) re wr
+        && Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) im wi);
+  ]

@@ -1,0 +1,116 @@
+open Helpers
+
+let test_acf_values () =
+  (* H = 0.5 is white noise. *)
+  for k = 1 to 10 do
+    check_close ~tol:1e-12
+      (Printf.sprintf "H=0.5 lag %d" k)
+      0.0
+      (Traffic.Fgn.acf ~h:0.5 k)
+  done;
+  check_close "lag 0" 1.0 (Traffic.Fgn.acf ~h:0.8 0);
+  (* r(1) = (2^2H - 2) / 2 = 2^(2H-1) - 1 *)
+  check_close ~tol:1e-12 "H=0.9 lag 1"
+    (0.5 *. ((2.0 ** 1.8) -. 2.0))
+    (Traffic.Fgn.acf ~h:0.9 1)
+
+let test_acf_tail () =
+  (* r(k) ~ H(2H-1) k^(2H-2) *)
+  let h = 0.85 in
+  let k = 5000 in
+  let exact = Traffic.Fgn.acf ~h k in
+  let asymptotic =
+    h *. ((2.0 *. h) -. 1.0) *. (float_of_int k ** ((2.0 *. h) -. 2.0))
+  in
+  check_close_rel ~tol:1e-4 "asymptotic tail" asymptotic exact
+
+let test_davies_harte_moments () =
+  let x = Traffic.Fgn.sample_davies_harte (rng ~seed:101 ()) ~h:0.8 ~n:65536 in
+  (* LRD sample mean has standard error ~ n^(H-1) ~ 0.11 here; allow 3
+     sigma. *)
+  check_close ~tol:0.35 "mean 0" 0.0 (Numerics.Float_array.mean x);
+  check_close ~tol:0.1 "variance 1" 1.0 (Numerics.Float_array.variance x)
+
+let test_davies_harte_acf () =
+  let h = 0.75 in
+  let x = Traffic.Fgn.sample_davies_harte (rng ~seed:103 ()) ~h ~n:131072 in
+  let sample = Stats.Acf.autocorrelation_fft x ~max_lag:5 in
+  for k = 1 to 5 do
+    check_close ~tol:0.02
+      (Printf.sprintf "lag %d" k)
+      (Traffic.Fgn.acf ~h k)
+      sample.(k)
+  done
+
+let test_hosking_acf () =
+  let h = 0.8 in
+  (* Hosking is O(n^2); keep n modest and average replicates. *)
+  let reps = 40 and n = 512 in
+  let acc = Array.make 4 0.0 in
+  let master = rng ~seed:105 () in
+  for _ = 1 to reps do
+    let x = Traffic.Fgn.sample_hosking (Numerics.Rng.split master) ~h ~n in
+    let r = Stats.Acf.autocorrelation x ~max_lag:3 in
+    for k = 0 to 3 do
+      acc.(k) <- acc.(k) +. r.(k)
+    done
+  done;
+  for k = 1 to 3 do
+    check_close ~tol:0.05
+      (Printf.sprintf "hosking mean acf lag %d" k)
+      (Traffic.Fgn.acf ~h k)
+      (acc.(k) /. float_of_int reps)
+  done
+
+let test_methods_agree () =
+  (* Same H: the two exact methods must produce statistically equal
+     variance of partial sums at small aggregate sizes. *)
+  let h = 0.7 in
+  let dh = Traffic.Fgn.sample_davies_harte (rng ~seed:107 ()) ~h ~n:16384 in
+  let sums_var m x =
+    let agg = Numerics.Float_array.aggregate x ~block:m in
+    Numerics.Float_array.variance_population agg *. float_of_int (m * m)
+  in
+  let hos_reps = 30 in
+  let master = rng ~seed:109 () in
+  let hos_var =
+    let acc = ref 0.0 in
+    for _ = 1 to hos_reps do
+      let x = Traffic.Fgn.sample_hosking (Numerics.Rng.split master) ~h ~n:1024 in
+      acc := !acc +. sums_var 8 x
+    done;
+    !acc /. float_of_int hos_reps
+  in
+  check_close_rel ~tol:0.15 "V(8) agreement between methods" hos_var
+    (sums_var 8 dh)
+
+let test_process_wrapper () =
+  let p = Traffic.Fgn.process ~block:4096 ~h:0.9 ~mean:500.0 ~variance:5000.0 () in
+  check_close "mean metadata" 500.0 p.Traffic.Process.mean;
+  check_true "hurst metadata" (p.Traffic.Process.hurst = Some 0.9);
+  let x = Traffic.Process.generate p (rng ~seed:111 ()) 20_000 in
+  let s = Stats.Descriptive.summarize x in
+  (* H = 0.9 at n = 20k: both moments converge slowly (SE ~ n^(H-1)). *)
+  check_close_rel ~tol:0.06 "generated mean" 500.0 s.Stats.Descriptive.mean;
+  check_close_rel ~tol:0.3 "generated variance" 5000.0 s.Stats.Descriptive.variance
+
+let suite =
+  [
+    case "acf known values" test_acf_values;
+    case "acf asymptotic tail" test_acf_tail;
+    case "davies-harte moments" test_davies_harte_moments;
+    slow_case "davies-harte acf" test_davies_harte_acf;
+    slow_case "hosking acf" test_hosking_acf;
+    slow_case "methods agree on variance growth" test_methods_agree;
+    case "process wrapper" test_process_wrapper;
+    qcheck ~count:30 "acf positive and decreasing for H > 1/2"
+      QCheck2.Gen.(float_range 0.55 0.95)
+      (fun h ->
+        let ok = ref true in
+        for k = 1 to 50 do
+          let r = Traffic.Fgn.acf ~h k in
+          if not (r > 0.0 && r <= Traffic.Fgn.acf ~h (Stdlib.max 1 (k - 1)) +. 1e-12)
+          then ok := false
+        done;
+        !ok);
+  ]

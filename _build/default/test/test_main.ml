@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "cts"
+    [
+      ("rng", Test_rng.suite);
+      ("special", Test_special.suite);
+      ("dist", Test_dist.suite);
+      ("optimize", Test_optimize.suite);
+      ("quadrature", Test_quadrature.suite);
+      ("fft", Test_fft.suite);
+      ("float_array", Test_float_array.suite);
+      ("stats", Test_stats.suite);
+      ("hurst", Test_hurst.suite);
+      ("dar", Test_dar.suite);
+      ("onoff", Test_onoff.suite);
+      ("fbndp", Test_fbndp.suite);
+      ("fgn", Test_fgn.suite);
+      ("farima+mg", Test_farima_mg.suite);
+      ("process", Test_process.suite);
+      ("queueing", Test_queueing.suite);
+      ("core", Test_core.suite);
+      ("models", Test_models.suite);
+      ("trace", Test_trace.suite);
+      ("new_dist", Test_new_dist.suite);
+      ("mpeg", Test_mpeg.suite);
+      ("spectrum", Test_spectrum.suite);
+      ("ascii_plot", Test_ascii_plot.suite);
+      ("shaper", Test_shaper.suite);
+      ("misc", Test_misc.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,140 @@
+open Helpers
+
+(* Gamma and negative-binomial samplers added for the Section 6.1
+   marginal experiments. *)
+
+let sample_moments n f =
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let x = f () in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  (mean, (!acc2 /. float_of_int n) -. (mean *. mean))
+
+let gamma_check ~shape ~scale =
+  let a = rng ~seed:(int_of_float (shape *. 13.0) + 1) () in
+  let mean, var =
+    sample_moments 200_000 (fun () -> Numerics.Dist.gamma a ~shape ~scale)
+  in
+  check_close_rel ~tol:0.02
+    (Printf.sprintf "gamma(%g,%g) mean" shape scale)
+    (shape *. scale) mean;
+  check_close_rel ~tol:0.05
+    (Printf.sprintf "gamma(%g,%g) variance" shape scale)
+    (shape *. scale *. scale)
+    var
+
+let test_gamma_large_shape () = gamma_check ~shape:9.0 ~scale:2.0
+let test_gamma_unit_shape () = gamma_check ~shape:1.0 ~scale:3.0
+
+(* Exercises the boosting branch. *)
+let test_gamma_small_shape () = gamma_check ~shape:0.4 ~scale:1.5
+
+let test_gamma_exponential_special_case () =
+  (* Gamma(1, scale) is exponential: check a tail probability. *)
+  let a = rng ~seed:171 () in
+  let n = 100_000 in
+  let beyond = ref 0 in
+  for _ = 1 to n do
+    if Numerics.Dist.gamma a ~shape:1.0 ~scale:2.0 > 4.0 then incr beyond
+  done;
+  check_close ~tol:0.005 "P(X > 2 means) = e^-2"
+    (exp (-2.0))
+    (float_of_int !beyond /. float_of_int n)
+
+let test_negative_binomial_moments () =
+  let a = rng ~seed:173 () in
+  let r = 5.0 and p = 0.4 in
+  let mean, var =
+    sample_moments 200_000 (fun () ->
+        float_of_int (Numerics.Dist.negative_binomial a ~r ~p))
+  in
+  check_close_rel ~tol:0.02 "negbin mean" (r *. (1.0 -. p) /. p) mean;
+  check_close_rel ~tol:0.05 "negbin variance" (r *. (1.0 -. p) /. (p *. p)) var
+
+let test_negative_binomial_of_moments () =
+  let a = rng ~seed:175 () in
+  (* The paper's frame-size moments. *)
+  let mean_target = 500.0 and var_target = 5000.0 in
+  let mean, var =
+    sample_moments 100_000 (fun () ->
+        float_of_int
+          (Numerics.Dist.negative_binomial_of_moments a ~mean:mean_target
+             ~variance:var_target))
+  in
+  check_close_rel ~tol:0.01 "moment-matched mean" mean_target mean;
+  check_close_rel ~tol:0.05 "moment-matched variance" var_target var
+
+let test_marginals_share_moments () =
+  List.iter
+    (fun (name, marginal) ->
+      check_close (name ^ " declared mean") 500.0 marginal.Traffic.Dar.mean;
+      check_close (name ^ " declared variance") 5000.0
+        marginal.Traffic.Dar.variance)
+    [
+      ("gaussian", Traffic.Dar.gaussian_marginal ~mean:500.0 ~variance:5000.0);
+      ( "negbin",
+        Traffic.Dar.negative_binomial_marginal ~mean:500.0 ~variance:5000.0 );
+      ("gamma", Traffic.Dar.gamma_marginal ~mean:500.0 ~variance:5000.0);
+    ]
+
+let test_marginal_sampling_moments () =
+  List.iteri
+    (fun i (name, marginal) ->
+      let a = rng ~seed:(181 + i) () in
+      let mean, var =
+        sample_moments 150_000 (fun () -> marginal.Traffic.Dar.sample a)
+      in
+      check_close_rel ~tol:0.02 (name ^ " sampled mean") 500.0 mean;
+      check_close_rel ~tol:0.06 (name ^ " sampled variance") 5000.0 var)
+    [
+      ("gaussian", Traffic.Dar.gaussian_marginal ~mean:500.0 ~variance:5000.0);
+      ( "negbin",
+        Traffic.Dar.negative_binomial_marginal ~mean:500.0 ~variance:5000.0 );
+      ("gamma", Traffic.Dar.gamma_marginal ~mean:500.0 ~variance:5000.0);
+    ]
+
+let test_negbin_heavier_tail_than_gaussian () =
+  (* Same moments, but P(X > mu + 4 sigma) should be clearly larger for
+     the negative binomial. *)
+  let a = rng ~seed:191 () in
+  let threshold = 500.0 +. (4.0 *. sqrt 5000.0) in
+  let count_tail sample =
+    let c = ref 0 in
+    for _ = 1 to 300_000 do
+      if sample () > threshold then incr c
+    done;
+    !c
+  in
+  let gauss = Traffic.Dar.gaussian_marginal ~mean:500.0 ~variance:5000.0 in
+  let negbin =
+    Traffic.Dar.negative_binomial_marginal ~mean:500.0 ~variance:5000.0
+  in
+  let g = count_tail (fun () -> gauss.Traffic.Dar.sample a) in
+  let nb = count_tail (fun () -> negbin.Traffic.Dar.sample a) in
+  check_true
+    (Printf.sprintf "negbin tail (%d) heavier than gaussian (%d)" nb g)
+    (nb > 2 * g)
+
+let suite =
+  [
+    case "gamma large shape" test_gamma_large_shape;
+    case "gamma shape 1" test_gamma_unit_shape;
+    case "gamma small shape (boost)" test_gamma_small_shape;
+    case "gamma(1) is exponential" test_gamma_exponential_special_case;
+    case "negative binomial moments" test_negative_binomial_moments;
+    case "negative binomial of moments" test_negative_binomial_of_moments;
+    case "marginal declared moments" test_marginals_share_moments;
+    slow_case "marginal sampled moments" test_marginal_sampling_moments;
+    slow_case "negbin tail heavier" test_negbin_heavier_tail_than_gaussian;
+    qcheck "gamma positive" QCheck2.Gen.(pair (float_range 0.1 20.0) (float_range 0.1 10.0))
+      (fun (shape, scale) ->
+        let a = rng ~seed:193 () in
+        Numerics.Dist.gamma a ~shape ~scale > 0.0);
+    qcheck "negbin non-negative" QCheck2.Gen.(pair (float_range 0.2 30.0) (float_range 0.05 0.95))
+      (fun (r, p) ->
+        let a = rng ~seed:195 () in
+        Numerics.Dist.negative_binomial a ~r ~p >= 0);
+  ]

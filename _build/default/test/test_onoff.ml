@@ -1,0 +1,156 @@
+open Helpers
+
+let dist = Traffic.Onoff_dist.create ~gamma:1.2 ~a:0.0018
+
+let test_pdf_normalised () =
+  let v =
+    Numerics.Quadrature.adaptive_simpson
+      ~f:(Traffic.Onoff_dist.pdf dist)
+      ~lo:0.0 ~hi:dist.Traffic.Onoff_dist.a ~tol:1e-12
+    +. Numerics.Quadrature.tail_integral
+         ~f:(Traffic.Onoff_dist.pdf dist)
+         ~lo:dist.Traffic.Onoff_dist.a ~decay:2.2 ~tol:1e-14
+  in
+  check_close ~tol:1e-5 "pdf integrates to 1" 1.0 v
+
+let test_pdf_continuous_at_breakpoint () =
+  let a = dist.Traffic.Onoff_dist.a in
+  let left = Traffic.Onoff_dist.pdf dist (a *. (1.0 -. 1e-9)) in
+  let right = Traffic.Onoff_dist.pdf dist (a *. (1.0 +. 1e-9)) in
+  check_close_rel ~tol:1e-6 "pdf continuous at A" left right
+
+let test_survival_cdf () =
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-12 "cdf + survival = 1" 1.0
+        (Traffic.Onoff_dist.cdf dist x +. Traffic.Onoff_dist.survival dist x))
+    [ 0.0001; 0.001; 0.0018; 0.01; 1.0 ]
+
+let test_mean_matches_integral () =
+  (* mean = integral of survival *)
+  let numeric =
+    Numerics.Quadrature.adaptive_simpson
+      ~f:(Traffic.Onoff_dist.survival dist)
+      ~lo:0.0 ~hi:dist.Traffic.Onoff_dist.a ~tol:1e-14
+    +. Numerics.Quadrature.tail_integral
+         ~f:(Traffic.Onoff_dist.survival dist)
+         ~lo:dist.Traffic.Onoff_dist.a ~decay:1.2 ~tol:1e-15
+  in
+  check_close_rel ~tol:1e-4 "closed-form mean" numeric dist.Traffic.Onoff_dist.mean
+
+let test_sample_distribution () =
+  let a = rng ~seed:81 () in
+  let n = 200_000 in
+  let below_a = ref 0 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    let t = Traffic.Onoff_dist.sample dist a in
+    check_true "sample positive" (t > 0.0);
+    if t <= dist.Traffic.Onoff_dist.a then incr below_a;
+    acc := !acc +. t
+  done;
+  (* P(T <= A) = 1 - e^-gamma *)
+  check_close ~tol:0.005 "body mass"
+    (1.0 -. exp (-1.2))
+    (float_of_int !below_a /. float_of_int n);
+  (* Heavy tail (gamma = 1.2): the sample mean converges slowly, so
+     only a loose check is meaningful. *)
+  check_close_rel ~tol:0.25 "sample mean near E[T]"
+    dist.Traffic.Onoff_dist.mean
+    (!acc /. float_of_int n)
+
+let test_sample_quantiles () =
+  (* Exact inversion means empirical quantiles track the CDF tightly
+     in the body. *)
+  let a = rng ~seed:83 () in
+  let samples =
+    Array.init 100_000 (fun _ -> Traffic.Onoff_dist.sample dist a)
+  in
+  Array.sort compare samples;
+  List.iter
+    (fun q ->
+      let x = samples.(int_of_float (q *. 100_000.0)) in
+      check_close ~tol:0.01
+        (Printf.sprintf "cdf at empirical quantile %g" q)
+        q
+        (Traffic.Onoff_dist.cdf dist x))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]
+
+let test_equilibrium_cdf_shape () =
+  check_close "starts at 0" 0.0 (Traffic.Onoff_dist.equilibrium_cdf dist 0.0);
+  let prev = ref 0.0 in
+  List.iter
+    (fun x ->
+      let v = Traffic.Onoff_dist.equilibrium_cdf dist x in
+      check_true "monotone" (v >= !prev);
+      check_true "bounded" (v <= 1.0);
+      prev := v)
+    [ 0.0001; 0.001; 0.0018; 0.005; 0.05; 0.5; 5.0; 500.0 ];
+  check_true "approaches 1 slowly (infinite-mean residual)"
+    (Traffic.Onoff_dist.equilibrium_cdf dist 500.0 > 0.9)
+
+let test_equilibrium_sample_matches_cdf () =
+  let a = rng ~seed:85 () in
+  let n = 100_000 in
+  List.iter
+    (fun x ->
+      let below = ref 0 in
+      let a = Numerics.Rng.copy a in
+      for _ = 1 to n do
+        if Traffic.Onoff_dist.equilibrium_sample dist a <= x then incr below
+      done;
+      check_close ~tol:0.01
+        (Printf.sprintf "equilibrium empirical cdf at %g" x)
+        (Traffic.Onoff_dist.equilibrium_cdf dist x)
+        (float_of_int !below /. float_of_int n))
+    [ 0.001; 0.0018; 0.01; 0.1 ]
+
+let test_invalid_args () =
+  Alcotest.check_raises "gamma too large"
+    (Invalid_argument "Onoff_dist: gamma = 2 outside (1, 2)") (fun () ->
+      ignore (Traffic.Onoff_dist.create ~gamma:2.0 ~a:1.0));
+  Alcotest.check_raises "alpha out of range"
+    (Invalid_argument "Onoff_dist: alpha = 1.5 outside (0, 1)") (fun () ->
+      ignore (Traffic.Onoff_dist.of_alpha ~alpha:1.5 ~a:1.0))
+
+let test_fractal_onoff_stationarity () =
+  (* The stationary ON fraction is 1/2; check the time average. *)
+  let a = rng ~seed:87 () in
+  let total = ref 0.0 in
+  let reps = 200 in
+  let horizon = 200 in
+  for _ = 1 to reps do
+    let p = Traffic.Fractal_onoff.create dist (Numerics.Rng.split a) in
+    for _ = 1 to horizon do
+      total := !total +. Traffic.Fractal_onoff.on_time p ~dt:0.04
+    done
+  done;
+  let fraction = !total /. (float_of_int (reps * horizon) *. 0.04) in
+  check_close ~tol:0.05 "long-run ON fraction 1/2" 0.5 fraction
+
+let test_fractal_onoff_bounds () =
+  let a = rng ~seed:89 () in
+  let p = Traffic.Fractal_onoff.create dist a in
+  for _ = 1 to 10_000 do
+    let t = Traffic.Fractal_onoff.on_time p ~dt:0.04 in
+    check_true "on time within [0, dt]" (t >= 0.0 && t <= 0.04 +. 1e-12)
+  done
+
+let suite =
+  [
+    case "pdf integrates to 1" test_pdf_normalised;
+    case "pdf continuous at breakpoint" test_pdf_continuous_at_breakpoint;
+    case "cdf + survival = 1" test_survival_cdf;
+    case "closed-form mean" test_mean_matches_integral;
+    case "sampling matches distribution" test_sample_distribution;
+    case "sample quantiles" test_sample_quantiles;
+    case "equilibrium cdf shape" test_equilibrium_cdf_shape;
+    slow_case "equilibrium sampling" test_equilibrium_sample_matches_cdf;
+    case "invalid arguments" test_invalid_args;
+    case "fractal on/off stationary fraction" test_fractal_onoff_stationarity;
+    case "on_time bounds" test_fractal_onoff_bounds;
+    qcheck "survival decreasing" QCheck2.Gen.(pair (float_range 0.0001 10.0) (float_range 0.0001 10.0))
+      (fun (x1, x2) ->
+        let lo = Stdlib.min x1 x2 and hi = Stdlib.max x1 x2 in
+        Traffic.Onoff_dist.survival dist lo >= Traffic.Onoff_dist.survival dist hi);
+  ]

@@ -1,0 +1,99 @@
+open Helpers
+
+let dar rho mean variance =
+  Traffic.Dar.make
+    (Traffic.Dar.gaussian_marginal ~mean ~variance)
+    { Traffic.Dar.rho; weights = [| 1.0 |] }
+
+let test_scale () =
+  let p = Traffic.Process.scale (dar 0.8 100.0 400.0) 3.0 in
+  check_close "scaled mean" 300.0 p.Traffic.Process.mean;
+  check_close "scaled variance" 3600.0 p.Traffic.Process.variance;
+  check_close ~tol:1e-12 "acf untouched" 0.8 (p.Traffic.Process.acf 1);
+  let x = Traffic.Process.generate p (rng ~seed:131 ()) 50_000 in
+  check_close_rel ~tol:0.02 "generated mean scaled" 300.0
+    (Numerics.Float_array.mean x)
+
+let test_superpose_moments () =
+  let a = dar 0.9 100.0 300.0 and b = dar 0.2 50.0 700.0 in
+  let s = Traffic.Process.superpose [ a; b ] in
+  check_close "sum mean" 150.0 s.Traffic.Process.mean;
+  check_close "sum variance" 1000.0 s.Traffic.Process.variance;
+  (* Weighted ACF (paper eq. 5). *)
+  let expected k = ((300.0 *. (0.9 ** k)) +. (700.0 *. (0.2 ** k))) /. 1000.0 in
+  for k = 1 to 10 do
+    check_close ~tol:1e-12
+      (Printf.sprintf "weighted acf %d" k)
+      (expected (float_of_int k))
+      (s.Traffic.Process.acf k)
+  done
+
+let test_superpose_hurst () =
+  let lrd =
+    Traffic.Fgn.process ~block:1024 ~h:0.9 ~mean:10.0 ~variance:4.0 ()
+  in
+  let srd = dar 0.5 10.0 4.0 in
+  let s = Traffic.Process.superpose [ lrd; srd ] in
+  check_true "hurst of mix is the max" (s.Traffic.Process.hurst = Some 0.9)
+
+let test_superpose_generation () =
+  let a = dar 0.9 100.0 300.0 and b = dar 0.2 50.0 700.0 in
+  let s = Traffic.Process.superpose [ a; b ] in
+  let x = Traffic.Process.generate s (rng ~seed:133 ()) 100_000 in
+  let st = Stats.Descriptive.summarize x in
+  check_close_rel ~tol:0.02 "generated mean" 150.0 st.Stats.Descriptive.mean;
+  check_close_rel ~tol:0.05 "generated variance" 1000.0
+    st.Stats.Descriptive.variance
+
+let test_replicate () =
+  let p = Traffic.Process.replicate (dar 0.7 100.0 400.0) 25 in
+  check_close "aggregate mean" 2500.0 p.Traffic.Process.mean;
+  check_close "aggregate variance" 10000.0 p.Traffic.Process.variance;
+  check_close ~tol:1e-12 "acf unchanged by homogeneous aggregation" 0.7
+    (p.Traffic.Process.acf 1);
+  let x = Traffic.Process.generate p (rng ~seed:135 ()) 50_000 in
+  let st = Stats.Descriptive.summarize x in
+  check_close_rel ~tol:0.02 "generated aggregate mean" 2500.0
+    st.Stats.Descriptive.mean;
+  check_close_rel ~tol:0.05 "generated aggregate variance" 10000.0
+    st.Stats.Descriptive.variance
+
+let test_acf_array () =
+  let p = dar 0.6 0.0 1.0 in
+  let r = Traffic.Process.acf_array p ~max_lag:5 in
+  check_int "length" 6 (Array.length r);
+  check_close "r0" 1.0 r.(0);
+  check_close ~tol:1e-12 "r3" (0.6 ** 3.0) r.(3)
+
+let test_spawn_independence () =
+  (* Two spawns from substreams must give different paths; the same
+     substream must reproduce exactly. *)
+  let p = dar 0.6 0.0 1.0 in
+  let master = rng ~seed:137 () in
+  let x1 =
+    Traffic.Process.generate p (Numerics.Rng.jump_to_substream master 0) 100
+  in
+  let x2 =
+    Traffic.Process.generate p (Numerics.Rng.jump_to_substream master 0) 100
+  in
+  let x3 =
+    Traffic.Process.generate p (Numerics.Rng.jump_to_substream master 1) 100
+  in
+  check_true "same substream reproduces" (x1 = x2);
+  check_true "different substream differs" (x1 <> x3)
+
+let suite =
+  [
+    case "scale" test_scale;
+    case "superpose moments and acf" test_superpose_moments;
+    case "superpose hurst" test_superpose_hurst;
+    case "superpose generation" test_superpose_generation;
+    case "replicate" test_replicate;
+    case "acf_array" test_acf_array;
+    case "spawn substream independence" test_spawn_independence;
+    qcheck ~count:50 "superposition variance additivity"
+      QCheck2.Gen.(pair (float_range 1.0 100.0) (float_range 1.0 100.0))
+      (fun (v1, v2) ->
+        let s = Traffic.Process.superpose [ dar 0.5 0.0 v1; dar 0.5 0.0 v2 ] in
+        Float.abs (s.Traffic.Process.variance -. (v1 +. v2)) < 1e-9);
+  ]

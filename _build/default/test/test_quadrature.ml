@@ -1,0 +1,62 @@
+open Helpers
+
+let pi = 4.0 *. atan 1.0
+
+let test_simpson_sin () =
+  let v = Numerics.Quadrature.adaptive_simpson ~f:sin ~lo:0.0 ~hi:pi ~tol:1e-10 in
+  check_close ~tol:1e-8 "integral of sin over [0, pi]" 2.0 v
+
+let test_simpson_gaussian () =
+  let f x = exp (-.x *. x /. 2.0) /. sqrt (2.0 *. pi) in
+  let v =
+    Numerics.Quadrature.adaptive_simpson ~f ~lo:(-8.0) ~hi:8.0 ~tol:1e-10
+  in
+  check_close ~tol:1e-8 "gaussian density integrates to 1" 1.0 v
+
+let test_simpson_empty () =
+  check_close "empty interval" 0.0
+    (Numerics.Quadrature.adaptive_simpson ~f:exp ~lo:1.0 ~hi:1.0 ~tol:1e-8)
+
+let test_gauss_legendre_poly () =
+  (* Degree-9 polynomial: 16-point GL is exact. *)
+  let f x = (5.0 *. (x ** 9.0)) -. (3.0 *. (x ** 4.0)) +. 2.0 in
+  let exact = (5.0 /. 10.0 *. (2.0 ** 10.0 -. 1.0)) -. (3.0 /. 5.0 *. (2.0 ** 5.0 -. 1.0)) +. (2.0 *. 1.0) in
+  let v = Numerics.Quadrature.gauss_legendre_16 ~f ~lo:1.0 ~hi:2.0 in
+  check_close_rel ~tol:1e-12 "GL16 exact on degree 9" exact v
+
+let test_gauss_legendre_vs_simpson () =
+  let f x = log (1.0 +. x) *. cos x in
+  let a = Numerics.Quadrature.gauss_legendre_16 ~f ~lo:0.0 ~hi:2.0 in
+  let b = Numerics.Quadrature.adaptive_simpson ~f ~lo:0.0 ~hi:2.0 ~tol:1e-12 in
+  check_close ~tol:1e-9 "GL16 agrees with adaptive Simpson" b a
+
+let test_tail_integral () =
+  (* integral_1^inf x^-2 dx = 1 *)
+  let v =
+    Numerics.Quadrature.tail_integral
+      ~f:(fun x -> 1.0 /. (x *. x))
+      ~lo:1.0 ~decay:2.0 ~tol:1e-12
+  in
+  check_close ~tol:1e-6 "tail of x^-2" 1.0 v;
+  (* integral_2^inf x^-1.5 dx = 2 / sqrt 2 = sqrt 2 *)
+  let v =
+    Numerics.Quadrature.tail_integral
+      ~f:(fun x -> x ** -1.5)
+      ~lo:2.0 ~decay:1.5 ~tol:1e-12
+  in
+  check_close ~tol:1e-5 "tail of x^-1.5" (sqrt 2.0) v
+
+let suite =
+  [
+    case "adaptive simpson sin" test_simpson_sin;
+    case "adaptive simpson gaussian" test_simpson_gaussian;
+    case "adaptive simpson empty interval" test_simpson_empty;
+    case "gauss-legendre polynomial exactness" test_gauss_legendre_poly;
+    case "gauss-legendre vs simpson" test_gauss_legendre_vs_simpson;
+    case "tail integral" test_tail_integral;
+    qcheck "simpson linearity on monomials" QCheck2.Gen.(int_range 0 6)
+      (fun k ->
+        let f x = x ** float_of_int k in
+        let v = Numerics.Quadrature.adaptive_simpson ~f ~lo:0.0 ~hi:1.0 ~tol:1e-12 in
+        Float.abs (v -. (1.0 /. float_of_int (k + 1))) < 1e-9);
+  ]

@@ -1,0 +1,119 @@
+open Helpers
+
+let test_determinism () =
+  let a = Numerics.Rng.create ~seed:42 in
+  let b = Numerics.Rng.create ~seed:42 in
+  for i = 1 to 100 do
+    check_true
+      (Printf.sprintf "same seed, same stream (draw %d)" i)
+      (Numerics.Rng.uint64 a = Numerics.Rng.uint64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Numerics.Rng.create ~seed:1 in
+  let b = Numerics.Rng.create ~seed:2 in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Numerics.Rng.uint64 a = Numerics.Rng.uint64 b then incr equal
+  done;
+  check_true "adjacent seeds give different streams" (!equal = 0)
+
+let test_copy () =
+  let a = rng () in
+  ignore (Numerics.Rng.uint64 a);
+  let b = Numerics.Rng.copy a in
+  for _ = 1 to 50 do
+    check_true "copy replays the future" (Numerics.Rng.uint64 a = Numerics.Rng.uint64 b)
+  done
+
+let test_split_independence () =
+  let a = rng () in
+  let b = Numerics.Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Numerics.Rng.uint64 a = Numerics.Rng.uint64 b then incr matches
+  done;
+  check_true "split streams do not collide" (!matches = 0)
+
+let test_substream_reproducible () =
+  let a = Numerics.Rng.create ~seed:5 in
+  let s1 = Numerics.Rng.jump_to_substream a 3 in
+  let s2 = Numerics.Rng.jump_to_substream a 3 in
+  check_true "jump_to_substream does not advance parent"
+    (Numerics.Rng.uint64 s1 = Numerics.Rng.uint64 s2);
+  let s3 = Numerics.Rng.jump_to_substream a 4 in
+  let s1' = Numerics.Rng.jump_to_substream a 3 in
+  ignore (Numerics.Rng.uint64 s1');
+  check_true "distinct substreams differ"
+    (Numerics.Rng.uint64 s3 <> Numerics.Rng.uint64 s1')
+
+let test_float_range_unit () =
+  let a = rng () in
+  for _ = 1 to 10_000 do
+    let u = Numerics.Rng.float a in
+    check_true "float in (0,1)" (u > 0.0 && u < 1.0)
+  done
+
+let test_float_moments () =
+  let a = rng () in
+  let n = 100_000 in
+  let acc = ref 0.0 and acc2 = ref 0.0 in
+  for _ = 1 to n do
+    let u = Numerics.Rng.float a in
+    acc := !acc +. u;
+    acc2 := !acc2 +. (u *. u)
+  done;
+  let mean = !acc /. float_of_int n in
+  let second = !acc2 /. float_of_int n in
+  check_close ~tol:0.005 "uniform mean 1/2" 0.5 mean;
+  check_close ~tol:0.005 "uniform second moment 1/3" (1.0 /. 3.0) second
+
+let test_int_bounds () =
+  let a = rng () in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let v = Numerics.Rng.int a ~bound:7 in
+    check_true "int within bound" (v >= 0 && v < 7);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_true
+        (Printf.sprintf "bucket %d roughly uniform (%d)" i c)
+        (c > 9_000 && c < 11_000))
+    counts
+
+let test_bool_balance () =
+  let a = rng () in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Numerics.Rng.bool a then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  check_close ~tol:0.01 "bool is fair" 0.5 frac
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "copy" test_copy;
+    case "split independence" test_split_independence;
+    case "substream reproducible" test_substream_reproducible;
+    case "float in (0,1)" test_float_range_unit;
+    case "float moments" test_float_moments;
+    case "int bounds and uniformity" test_int_bounds;
+    case "bool balance" test_bool_balance;
+    qcheck "float_range stays in range"
+      QCheck2.Gen.(pair (float_range (-100.) 100.) (float_range 0.001 50.))
+      (fun (lo, width) ->
+        let a = rng ~seed:11 () in
+        let hi = lo +. width in
+        let v = Numerics.Rng.float_range a ~lo ~hi in
+        v > lo && v < hi);
+    qcheck "int bound respected" QCheck2.Gen.(int_range 1 1_000_000)
+      (fun bound ->
+        let a = rng ~seed:13 () in
+        let v = Numerics.Rng.int a ~bound in
+        v >= 0 && v < bound);
+  ]

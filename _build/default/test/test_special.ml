@@ -1,0 +1,93 @@
+open Helpers
+
+let pi = 4.0 *. atan 1.0
+
+let test_log_gamma_known () =
+  check_close ~tol:1e-10 "lgamma(1) = 0" 0.0 (Numerics.Special.log_gamma 1.0);
+  check_close ~tol:1e-10 "lgamma(2) = 0" 0.0 (Numerics.Special.log_gamma 2.0);
+  check_close ~tol:1e-10 "lgamma(5) = ln 24" (log 24.0)
+    (Numerics.Special.log_gamma 5.0);
+  check_close ~tol:1e-10 "lgamma(0.5) = ln sqrt(pi)"
+    (0.5 *. log pi)
+    (Numerics.Special.log_gamma 0.5)
+
+let test_gamma_reflection () =
+  (* Gamma(x) Gamma(1-x) = pi / sin(pi x) *)
+  List.iter
+    (fun x ->
+      let product = Numerics.Special.gamma x *. Numerics.Special.gamma (1.0 -. x) in
+      check_close_rel ~tol:1e-8
+        (Printf.sprintf "reflection at %g" x)
+        (pi /. sin (pi *. x))
+        product)
+    [ 0.1; 0.25; 0.3; 0.6; 0.9 ]
+
+let test_log_factorial () =
+  check_close "0! = 1" 0.0 (Numerics.Special.log_factorial 0);
+  check_close "1! = 1" 0.0 (Numerics.Special.log_factorial 1);
+  check_close ~tol:1e-10 "10!" (log 3628800.0) (Numerics.Special.log_factorial 10);
+  check_close_rel ~tol:1e-10 "200! via lgamma"
+    (Numerics.Special.log_gamma 201.0)
+    (Numerics.Special.log_factorial 200)
+
+let test_erf_known () =
+  check_close ~tol:1e-7 "erf 0" 0.0 (Numerics.Special.erf 0.0);
+  check_close ~tol:2e-7 "erf 1" 0.8427007929 (Numerics.Special.erf 1.0);
+  check_close ~tol:2e-7 "erf 2" 0.9953222650 (Numerics.Special.erf 2.0);
+  check_close ~tol:2e-7 "erf -1" (-0.8427007929) (Numerics.Special.erf (-1.0));
+  check_close ~tol:1e-7 "erf large" 1.0 (Numerics.Special.erf 6.0)
+
+let test_normal_cdf () =
+  check_close ~tol:1e-7 "Phi(0)" 0.5 (Numerics.Special.normal_cdf 0.0);
+  check_close ~tol:1e-6 "Phi(1.96)" 0.9750021 (Numerics.Special.normal_cdf 1.96);
+  check_close ~tol:1e-6 "Phi(-1.96)" 0.0249979
+    (Numerics.Special.normal_cdf (-1.96))
+
+let test_normal_quantile_known () =
+  check_close ~tol:1e-6 "probit(0.5)" 0.0 (Numerics.Special.normal_quantile 0.5);
+  check_close ~tol:1e-5 "probit(0.975)" 1.959964
+    (Numerics.Special.normal_quantile 0.975);
+  check_close ~tol:1e-5 "probit(0.995)" 2.575829
+    (Numerics.Special.normal_quantile 0.995);
+  check_close ~tol:1e-4 "probit(1e-6)" (-4.753424)
+    (Numerics.Special.normal_quantile 1e-6)
+
+let test_student_t () =
+  (* Classical t-table values (two-sided 95%). *)
+  check_close ~tol:0.02 "t(0.975; df=1)" 12.706
+    (Numerics.Special.student_t_quantile ~df:1 0.975);
+  check_close ~tol:0.005 "t(0.975; df=2)" 4.3027
+    (Numerics.Special.student_t_quantile ~df:2 0.975);
+  check_close ~tol:0.01 "t(0.975; df=5)" 2.5706
+    (Numerics.Special.student_t_quantile ~df:5 0.975);
+  check_close ~tol:0.005 "t(0.975; df=30)" 2.0423
+    (Numerics.Special.student_t_quantile ~df:30 0.975);
+  check_close ~tol:0.01 "t approaches normal" 1.9600
+    (Numerics.Special.student_t_quantile ~df:100000 0.975)
+
+let suite =
+  [
+    case "log_gamma known values" test_log_gamma_known;
+    case "gamma reflection formula" test_gamma_reflection;
+    case "log_factorial" test_log_factorial;
+    case "erf known values" test_erf_known;
+    case "normal cdf" test_normal_cdf;
+    case "normal quantile" test_normal_quantile_known;
+    case "student t quantiles" test_student_t;
+    qcheck "lgamma recurrence lgamma(x+1) = lgamma(x) + ln x"
+      QCheck2.Gen.(float_range 0.1 50.0)
+      (fun x ->
+        let lhs = Numerics.Special.log_gamma (x +. 1.0) in
+        let rhs = Numerics.Special.log_gamma x +. log x in
+        Float.abs (lhs -. rhs) < 1e-8 *. (1.0 +. Float.abs lhs));
+    qcheck "erf is odd" QCheck2.Gen.(float_range 0.0 5.0) (fun x ->
+        Float.abs (Numerics.Special.erf x +. Numerics.Special.erf (-.x)) < 1e-12);
+    qcheck "quantile inverts cdf" QCheck2.Gen.(float_range 0.001 0.999)
+      (fun p ->
+        let x = Numerics.Special.normal_quantile p in
+        Float.abs (Numerics.Special.normal_cdf x -. p) < 1e-5);
+    qcheck "pow matches **" QCheck2.Gen.(pair (float_range 0.001 100.) (float_range (-3.) 3.))
+      (fun (x, y) ->
+        Float.abs (Numerics.Special.pow x y -. (x ** y))
+        < 1e-9 *. (1.0 +. (x ** y)));
+  ]

@@ -1,0 +1,80 @@
+open Helpers
+
+let pi = 4.0 *. atan 1.0
+
+let ar1_spectrum rho variance =
+  Core.Spectrum.create
+    ~acf:(fun k -> rho ** float_of_int k)
+    ~variance ()
+
+let test_white_noise_flat () =
+  let s = Core.Spectrum.create ~acf:(fun _ -> 0.0) ~variance:3.0 () in
+  List.iter
+    (fun w -> check_close ~tol:1e-9 "flat spectrum" 3.0 (Core.Spectrum.psd s w))
+    [ 0.01; 0.5; 1.0; 2.0; pi ]
+
+let test_ar1_closed_form () =
+  (* AR(1) PSD: sigma^2 (1 - rho^2) / (1 - 2 rho cos w + rho^2). *)
+  let rho = 0.7 and variance = 2.0 in
+  let s = ar1_spectrum rho variance in
+  List.iter
+    (fun w ->
+      let expected =
+        variance *. (1.0 -. (rho *. rho))
+        /. (1.0 -. (2.0 *. rho *. cos w) +. (rho *. rho))
+      in
+      check_close_rel ~tol:1e-6
+        (Printf.sprintf "AR(1) psd at %g" w)
+        expected
+        (Core.Spectrum.psd s w))
+    [ 0.05; 0.3; 1.0; 2.0; 3.0 ]
+
+let test_total_power () =
+  let s = ar1_spectrum 0.5 7.0 in
+  check_close "total power is the variance" 7.0 (Core.Spectrum.total_power s)
+
+let test_power_partition () =
+  (* Low + high frequency mass = 1. *)
+  let s = ar1_spectrum 0.8 1.0 in
+  let low = Core.Spectrum.low_frequency_power s ~below:0.5 in
+  let all = Core.Spectrum.low_frequency_power s ~below:pi in
+  check_true "partial below total" (low < all);
+  check_close ~tol:0.01 "full band carries all variance" 1.0 all;
+  check_true "strong positive correlation concentrates power at low f"
+    (low > 0.5)
+
+let test_lrd_low_frequency_blowup () =
+  (* An LRD source concentrates power at low frequency much harder than
+     an SRD source with the same lag-1 correlation. *)
+  let z = (Traffic.Models.z ~a:0.7).Traffic.Models.process in
+  let lrd =
+    Core.Spectrum.create ~acf:z.Traffic.Process.acf
+      ~variance:z.Traffic.Process.variance ()
+  in
+  let srd = ar1_spectrum (z.Traffic.Process.acf 1) z.Traffic.Process.variance in
+  check_true "LRD psd dominates at low frequency"
+    (Core.Spectrum.psd lrd 0.005 > 2.0 *. Core.Spectrum.psd srd 0.005)
+
+let test_cutoff_frequency () =
+  check_close "m* = 1 -> pi" pi (Core.Spectrum.cutoff_frequency_of_cts ~m_star:1);
+  check_close "m* = 10 -> pi/10" (pi /. 10.0)
+    (Core.Spectrum.cutoff_frequency_of_cts ~m_star:10);
+  let s = ar1_spectrum 0.821 5000.0 in
+  let wc_small = Core.Spectrum.cutoff_frequency s ~mu:500.0 ~c:538.0 ~b:10.0 in
+  let wc_large = Core.Spectrum.cutoff_frequency s ~mu:500.0 ~c:538.0 ~b:300.0 in
+  check_true "bigger buffer, lower cutoff" (wc_large < wc_small)
+
+let suite =
+  [
+    case "white noise is flat" test_white_noise_flat;
+    case "AR(1) closed form" test_ar1_closed_form;
+    case "total power" test_total_power;
+    case "power partition" test_power_partition;
+    case "LRD low-frequency dominance" test_lrd_low_frequency_blowup;
+    case "cutoff frequency" test_cutoff_frequency;
+    qcheck ~count:30 "psd non-negative for AR(1)"
+      QCheck2.Gen.(pair (float_range 0.0 0.95) (float_range 0.05 3.1))
+      (fun (rho, w) ->
+        let s = ar1_spectrum rho 1.0 in
+        Core.Spectrum.psd s w >= -1e-6);
+  ]
