@@ -1,0 +1,22 @@
+# Convenience targets mirroring the CI workflow.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 verification: what CI runs on every PR.
+check:
+	dune build
+	dune runtest
+
+bench:
+	CTS_BENCH_ANALYTIC_ONLY=1 dune exec bench/main.exe
+
+clean:
+	dune clean

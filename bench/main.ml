@@ -20,6 +20,50 @@ let env_flag name = Sys.getenv_opt name = Some "1"
 
 (* {2 Micro-benchmarks} *)
 
+(* A pair of CAC engines on identical links with identical mixed load
+   (10 x z0.975 + 10 x dar3), one with the decision cache enabled and
+   one with it disabled — the cached and uncached admission paths. *)
+let cac_engine ~cache_capacity =
+  let engine = Cac.Engine.create ~cache_capacity () in
+  ignore
+    (Cac.Engine.add_link_msec engine ~id:"link" ~capacity:16140.0
+       ~buffer_msec:10.0 ~target_clr:1e-6);
+  let z = Cac.Source_class.of_name_exn "z0.975" in
+  let dar3 = Cac.Source_class.of_name_exn "dar3" in
+  List.iter
+    (fun cls ->
+      for _ = 1 to 10 do
+        ignore (Cac.Engine.admit engine ~link:"link" ~cls)
+      done)
+    [ z; dar3 ];
+  (* Warm: the next decision's keys are now resident (cache on) or
+     recomputed every time (cache off). *)
+  ignore (Cac.Engine.evaluate engine ~link:"link" ~cls:z);
+  (engine, z)
+
+let report_cac_speedup () =
+  let cached, z_cached = cac_engine ~cache_capacity:4096 in
+  let uncached, z_uncached = cac_engine ~cache_capacity:0 in
+  let mean_time iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  let cached_us =
+    mean_time 20_000 (fun () ->
+        Cac.Engine.evaluate cached ~link:"link" ~cls:z_cached)
+  in
+  let uncached_us =
+    mean_time 200 (fun () ->
+        Cac.Engine.evaluate uncached ~link:"link" ~cls:z_uncached)
+  in
+  Printf.printf
+    "\ncac admission decision: %.2f us cached, %.2f us uncached -> %.0fx \
+     speedup\n%!"
+    cached_us uncached_us (uncached_us /. cached_us)
+
 let micro_tests () =
   let z = (Traffic.Models.z ~a:0.975).Traffic.Models.process in
   let dar3 = Traffic.Models.s ~a:0.975 ~p:3 in
@@ -58,6 +102,12 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Queueing.Fluid_mux.finite_buffer_step ~w:100.0 ~arrivals:520.0
              ~service:538.0 ~buffer:4035.0));
+    (let engine, z = cac_engine ~cache_capacity:4096 in
+     Test.make ~name:"cac_decide_cached"
+       (Staged.stage (fun () -> Cac.Engine.evaluate engine ~link:"link" ~cls:z)));
+    (let engine, z = cac_engine ~cache_capacity:0 in
+     Test.make ~name:"cac_decide_uncached"
+       (Staged.stage (fun () -> Cac.Engine.evaluate engine ~link:"link" ~cls:z)));
   ]
 
 let run_micro () =
@@ -94,4 +144,7 @@ let () =
   else Experiments.Registry.run_all ();
   Printf.printf "\nexperiments completed in %.1f s\n%!"
     (Unix.gettimeofday () -. t0);
-  if not (env_flag "CTS_BENCH_NO_MICRO") then run_micro ()
+  if not (env_flag "CTS_BENCH_NO_MICRO") then begin
+    run_micro ();
+    report_cac_speedup ()
+  end

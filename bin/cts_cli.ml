@@ -43,43 +43,53 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available experiments")
     Term.(const run $ const ())
 
+let quiet_arg =
+  let doc = "Suppress the per-experiment banner lines." in
+  Arg.(value & flag & info [ "quiet" ] ~doc)
+
 let run_cmd =
   let ids_arg =
     let doc = "Experiment identifiers (see $(b,list)); 'all' runs everything." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run frames reps seed results_dir ids =
+  let run frames reps seed results_dir quiet ids =
     apply_scale ~frames ~reps ~seed ~results_dir;
+    (* Any experiment raising mid-run must surface as a non-zero exit,
+       not just a stack trace on a successful process. *)
     let failures =
       List.filter_map
         (fun id ->
           if id = "all" then begin
-            Experiments.Registry.run_all ();
-            None
+            match Experiments.Registry.run_all ~quiet () with
+            | () -> None
+            | exception exn ->
+                Some (Printf.sprintf "all: %s" (Printexc.to_string exn))
           end
           else begin
             match Experiments.Registry.find id with
-            | Some e ->
-                Printf.printf "\n######## %s: %s ########\n%!"
-                  e.Experiments.Registry.id e.Experiments.Registry.title;
-                e.Experiments.Registry.run ();
-                None
-            | None -> Some id
+            | Some e -> begin
+                if not quiet then
+                  Printf.printf "\n######## %s: %s ########\n%!"
+                    e.Experiments.Registry.id e.Experiments.Registry.title;
+                match e.Experiments.Registry.run () with
+                | () -> None
+                | exception exn ->
+                    Some (Printf.sprintf "%s: %s" id (Printexc.to_string exn))
+              end
+            | None -> Some (Printf.sprintf "unknown experiment %S" id)
           end)
         ids
     in
     match failures with
     | [] -> `Ok ()
-    | missing ->
-        `Error
-          (false, "unknown experiment(s): " ^ String.concat ", " missing)
+    | failures -> `Error (false, String.concat "; " failures)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one or more experiments")
     Term.(
       ret
         (const run $ frames_arg $ reps_arg $ seed_arg $ results_dir_arg
-       $ ids_arg))
+       $ quiet_arg $ ids_arg))
 
 let analytic_cmd =
   let run frames reps seed results_dir =
@@ -258,6 +268,298 @@ let simulate_cmd =
         (const run $ model_arg $ n_arg $ c_arg $ buffer_arg $ frames_sim_arg
        $ reps_sim_arg $ seed_sim_arg))
 
+(* {2 The online CAC engine} *)
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+(* "dar1,z0.975" (equal weights) or "dar1:2,z0.975:1". *)
+let parse_mix s =
+  let parse_entry entry =
+    let name, weight =
+      match String.index_opt entry ':' with
+      | None -> (entry, 1.0)
+      | Some i ->
+          ( String.sub entry 0 i,
+            String.sub entry (i + 1) (String.length entry - i - 1)
+            |> float_of_string_opt
+            |> Option.value ~default:nan )
+    in
+    Option.map (fun cls -> (cls, weight)) (Cac.Source_class.of_name name)
+  in
+  let entries = List.map parse_entry (split_commas s) in
+  if
+    entries = []
+    || List.exists
+         (function None -> true | Some (_, w) -> not (w > 0.0))
+         entries
+  then None
+  else Some (List.map Option.get entries)
+
+let class_names_doc = String.concat ", " Cac.Source_class.names
+
+let cac_capacity_arg =
+  let doc = "Total link capacity, cells/frame." in
+  Arg.(value & opt float 16140.0 & info [ "capacity" ] ~docv:"CELLS" ~doc)
+
+let cac_clr_arg =
+  let doc = "Target cell loss rate." in
+  Arg.(value & opt float 1e-6 & info [ "clr" ] ~docv:"CLR" ~doc)
+
+let cac_class_arg =
+  let doc = Printf.sprintf "Traffic class: one of %s." class_names_doc in
+  Arg.(value & opt string "z0.975" & info [ "model" ] ~docv:"CLASS" ~doc)
+
+let cac_decide_cmd =
+  let existing_arg =
+    let doc = "Connections of the class already admitted on the link." in
+    Arg.(value & opt int 0 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let run model capacity buffer_msec target_clr existing =
+    match Cac.Source_class.of_name model with
+    | None ->
+        `Error
+          (false, Printf.sprintf "unknown class %S (try %s)" model class_names_doc)
+    | Some cls ->
+        let engine = Cac.Engine.create () in
+        let link =
+          Cac.Engine.add_link_msec engine ~id:"link" ~capacity ~buffer_msec
+            ~target_clr
+        in
+        let rec preload k =
+          k = 0
+          ||
+          match Cac.Engine.admit engine ~link:"link" ~cls with
+          | Cac.Engine.Admitted _ -> preload (k - 1)
+          | Cac.Engine.Rejected _ -> false
+        in
+        if existing < 0 then `Error (false, "--n must be non-negative")
+        else if not (preload existing) then
+          `Error
+            ( false,
+              Printf.sprintf
+                "the pre-existing load of %d connections is itself inadmissible"
+                existing )
+        else begin
+          let time f =
+            let t0 = Unix.gettimeofday () in
+            let v = f () in
+            (v, 1e6 *. (Unix.gettimeofday () -. t0))
+          in
+          let verdict, cold_us =
+            time (fun () -> Cac.Engine.evaluate engine ~link:"link" ~cls)
+          in
+          let _, warm_us =
+            time (fun () -> Cac.Engine.evaluate engine ~link:"link" ~cls)
+          in
+          Printf.printf "link           %g cells/frame, buffer %g msec (%.0f cells), CLR <= %g\n"
+            capacity buffer_msec (Cac.Link.buffer link) target_clr;
+          Printf.printf "admitted       %d x %s (utilization %.1f%%)\n" existing
+            model
+            (100.0 *. Cac.Link.utilization link);
+          Printf.printf "decision       %s\n"
+            (if verdict.Cac.Engine.admissible then "ADMIT"
+             else
+               match verdict.Cac.Engine.reason with
+               | Some Cac.Engine.Unstable -> "REJECT (mean load at capacity)"
+               | _ -> "REJECT (CLR target exceeded)");
+          (match verdict.Cac.Engine.log10_bop with
+          | Some bop -> Printf.printf "log10 BOP      %.3f (target %.3f)\n" bop (log10 target_clr)
+          | None -> ());
+          (match verdict.Cac.Engine.required_bw with
+          | Some bw ->
+              Printf.printf "effective bw   %.1f of %g cells/frame\n" bw capacity
+          | None -> ());
+          Printf.printf "latency        %.1f us cold, %.1f us cached\n" cold_us
+            warm_us;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "decide"
+       ~doc:"One admission decision against a link with existing load")
+    Term.(
+      ret
+        (const run $ cac_class_arg $ cac_capacity_arg $ buffer_arg $ cac_clr_arg
+       $ existing_arg))
+
+let cac_replay_cmd =
+  let mix_arg =
+    let doc =
+      Printf.sprintf
+        "Traffic mix: comma-separated classes with optional weights, e.g. \
+         'dar1:2,z0.975:1'.  Classes: %s."
+        class_names_doc
+    in
+    Arg.(value & opt string "z0.975" & info [ "mix" ] ~docv:"MIX" ~doc)
+  in
+  let requests_arg =
+    let doc = "Connection attempts to replay." in
+    Arg.(value & opt int 10_000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Arrival rate, connections/s (default: 1.1 x the link's fill boundary \
+       divided by the holding time)."
+    in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"PER_SEC" ~doc)
+  in
+  let holding_arg =
+    let doc = "Mean connection holding time, seconds." in
+    Arg.(value & opt float 60.0 & info [ "holding" ] ~docv:"SEC" ~doc)
+  in
+  let seed_replay_arg =
+    let doc = "Random seed." in
+    Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run mix_s capacity buffer_msec target_clr requests rate holding seed =
+    match parse_mix mix_s with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "bad mix %S (classes: %s, weights > 0)" mix_s
+              class_names_doc )
+    | Some mix ->
+        let make_engine () =
+          let engine = Cac.Engine.create () in
+          ignore
+            (Cac.Engine.add_link_msec engine ~id:"link" ~capacity ~buffer_msec
+               ~target_clr);
+          engine
+        in
+        let arrival_rate =
+          match rate with
+          | Some r -> r
+          | None ->
+              let scratch = make_engine () in
+              let n_max =
+                Cac.Engine.fill scratch ~link:"link" ~cls:(fst (List.hd mix))
+              in
+              1.1 *. float_of_int (Stdlib.max 1 n_max) /. holding
+        in
+        let spec =
+          Cac.Workload.spec ~mean_holding:holding ~arrival_rate ~requests ~mix
+            ()
+        in
+        let engine = make_engine () in
+        let t0 = Unix.gettimeofday () in
+        let result =
+          Cac.Workload.run engine ~link:"link" spec
+            (Numerics.Rng.create ~seed)
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "replayed %d connection attempts (%.2f Erlangs offered) in %.2f s\n"
+          result.Cac.Workload.offered
+          (Cac.Workload.offered_load spec)
+          elapsed;
+        Printf.printf "admitted       %d\n" result.Cac.Workload.admitted;
+        Printf.printf "rejected       %d\n" result.Cac.Workload.rejected;
+        Printf.printf "blocking       %.4f overall, %.4f steady-state\n"
+          result.Cac.Workload.blocking result.Cac.Workload.steady_blocking;
+        Printf.printf "occupancy      %.1f mean, %d peak, %d at end\n"
+          result.Cac.Workload.mean_occupancy result.Cac.Workload.peak_occupancy
+          result.Cac.Workload.final_occupancy;
+        Printf.printf "cache          %.1f%% hits overall, %.1f%% steady-state\n"
+          (100.0 *. result.Cac.Workload.cache_hit_rate)
+          (100.0 *. result.Cac.Workload.steady_cache_hit_rate);
+        Printf.printf "latency        %.2f us mean per decision\n"
+          result.Cac.Workload.mean_latency_us;
+        let stats = Cac.Engine.cache_stats engine in
+        Printf.printf "cache entries  %d (%d evictions)\n"
+          stats.Cac.Decision_cache.entries stats.Cac.Decision_cache.evictions;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a Poisson/exponential connection workload on one link")
+    Term.(
+      ret
+        (const run $ mix_arg $ cac_capacity_arg $ buffer_arg $ cac_clr_arg
+       $ requests_arg $ rate_arg $ holding_arg $ seed_replay_arg))
+
+let cac_sweep_cmd =
+  let models_arg =
+    let doc =
+      Printf.sprintf "Comma-separated traffic classes (%s)." class_names_doc
+    in
+    Arg.(
+      value & opt string "z0.975,dar1,dar3,l" & info [ "models" ] ~docv:"LIST" ~doc)
+  in
+  let buffers_arg =
+    let doc = "Comma-separated buffer sizes, msec." in
+    Arg.(value & opt string "10,20,30" & info [ "buffers" ] ~docv:"LIST" ~doc)
+  in
+  let clrs_arg =
+    let doc = "Comma-separated CLR targets." in
+    Arg.(value & opt string "1e-6" & info [ "clrs" ] ~docv:"LIST" ~doc)
+  in
+  let requests_arg =
+    let doc = "Workload attempts replayed per grid cell (0 disables)." in
+    Arg.(value & opt int 2000 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (default: the recommended domain count)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let seed_sweep_arg =
+    let doc = "Master seed for per-cell workloads." in
+    Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let check_arg =
+    let doc = "Re-run sequentially and verify bit-identical results." in
+    Arg.(value & flag & info [ "check-sequential" ] ~doc)
+  in
+  let run models buffers clrs capacity requests domains seed check =
+    let class_names = split_commas models in
+    let unknown =
+      List.filter (fun n -> Cac.Source_class.of_name n = None) class_names
+    in
+    let buffers_msec = List.filter_map float_of_string_opt (split_commas buffers) in
+    let target_clrs = List.filter_map float_of_string_opt (split_commas clrs) in
+    if class_names = [] || unknown <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "bad class list %S (classes: %s)" models
+            class_names_doc )
+    else if buffers_msec = [] || target_clrs = [] then
+      `Error (false, "need at least one buffer size and one CLR target")
+    else begin
+      let scenarios =
+        Cac.Sweep.grid ~capacity ~requests ~seed ~class_names ~buffers_msec
+          ~target_clrs ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let rows = Cac.Sweep.run ?domains scenarios in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Cac.Sweep.print_table rows;
+      Printf.printf "%d scenarios in %.2f s\n" (Array.length rows) elapsed;
+      if not check then `Ok ()
+      else begin
+        let sequential = Cac.Sweep.run ~domains:1 scenarios in
+        if sequential = rows then begin
+          Printf.printf "sequential re-run: identical\n";
+          `Ok ()
+        end
+        else `Error (false, "parallel and sequential sweeps diverge")
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Domain-parallel capacity-planning sweep over (class, buffer, CLR)")
+    Term.(
+      ret
+        (const run $ models_arg $ buffers_arg $ clrs_arg $ cac_capacity_arg
+       $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg))
+
+let cac_cmd =
+  Cmd.group
+    (Cmd.info "cac"
+       ~doc:"Online connection-admission-control engine (decide, replay, sweep)")
+    [ cac_decide_cmd; cac_replay_cmd; cac_sweep_cmd ]
+
 let main =
   let doc =
     "Reproduction of Ryu & Elwalid (SIGCOMM '96): LRD of VBR video in ATM \
@@ -265,6 +567,6 @@ let main =
   in
   Cmd.group
     (Cmd.info "cts" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; analytic_cmd; analyze_cmd; admit_cmd; simulate_cmd ]
+    [ list_cmd; run_cmd; analytic_cmd; analyze_cmd; admit_cmd; simulate_cmd; cac_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,118 @@
+(* Hashtbl over an intrusive doubly-linked recency list: O(1) lookup,
+   insertion, touch and eviction. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  assert (capacity >= 0);
+  {
+    cap = capacity;
+    table = Hashtbl.create (Stdlib.max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1
+
+let find_or_add t key ~compute =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      let is_head = match t.head with Some h -> h == node | None -> false in
+      if not is_head then begin
+        unlink t node;
+        push_front t node
+      end;
+      node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      let value = compute () in
+      if t.cap > 0 then begin
+        if Hashtbl.length t.table >= t.cap then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node
+      end;
+      value
+
+let mem t key = Hashtbl.mem t.table key
+let length t = Hashtbl.length t.table
+let capacity t = t.cap
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+let stats (t : (_, _) t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+  }
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let diff ~before ~after =
+  {
+    hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    entries = after.entries;
+  }
+
+let reset_counters (t : (_, _) t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  reset_counters t

@@ -1,0 +1,54 @@
+(** Bounded LRU memoisation of admission-decision primitives.
+
+    An online CAC engine answers a stream of admit/release requests
+    whose underlying numerical work — Bahadur–Rao rate-function
+    evaluations and effective-bandwidth bisections — depends only on a
+    small, heavily revisited state space (source class, per-source
+    buffer and bandwidth, connection count).  Caching those evaluations
+    turns the steady-state decision into a hash lookup.
+
+    The cache is generic in key and value, bounded by an entry
+    capacity, and evicts least-recently-used entries.  Hit, miss and
+    eviction counters are maintained for the engine's metrics.  A
+    capacity of 0 disables memoisation (every lookup recomputes),
+    which gives benchmarks and tests an uncached reference path.
+
+    Not thread-safe: use one cache per domain. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [create ~capacity] holds at most [capacity] entries ([capacity >= 0]). *)
+
+val find_or_add : ('k, 'v) t -> 'k -> compute:(unit -> 'v) -> 'v
+(** [find_or_add t k ~compute] returns the cached value for [k],
+    computing and inserting it (possibly evicting the LRU entry) on a
+    miss.  The entry becomes most-recently-used either way. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test; does not touch recency or counters. *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+val stats : ('k, 'v) t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when no lookups happened. *)
+
+val diff : before:stats -> after:stats -> stats
+(** Counter deltas between two snapshots of the same cache — used to
+    report the steady-state hit rate after a warm-up window. *)
+
+val reset_counters : ('k, 'v) t -> unit
+(** Zero the hit/miss/eviction counters, keeping the entries. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries and zero the counters. *)

@@ -1,0 +1,188 @@
+type key =
+  | Bop of { cls : string; b : float; c : float; n : int }
+  | Eff_bw of { cls : string; total_buffer : float; target_clr : float; n : int }
+
+type t = {
+  links : (string, Link.t) Hashtbl.t;
+  conns : (int, Link.t * Source_class.t) Hashtbl.t;
+  cache : (key, float) Decision_cache.t;
+  metrics : Metrics.t;
+  clock : unit -> float;
+  mutable next_conn : int;
+}
+
+type reject_reason = Unstable | Clr_exceeded
+type decision = Admitted of int | Rejected of reject_reason
+
+type verdict = {
+  admissible : bool;
+  reason : reject_reason option;
+  log10_bop : float option;
+  required_bw : float option;
+}
+
+let create ?(cache_capacity = 4096) ?(clock = Unix.gettimeofday) () =
+  {
+    links = Hashtbl.create 8;
+    conns = Hashtbl.create 256;
+    cache = Decision_cache.create ~capacity:cache_capacity;
+    metrics = Metrics.create ();
+    clock;
+    next_conn = 0;
+  }
+
+let add_link t ~id ~capacity ~buffer ~target_clr =
+  if Hashtbl.mem t.links id then
+    invalid_arg (Printf.sprintf "Engine.add_link: duplicate link id %S" id);
+  let link = Link.create ~id ~capacity ~buffer ~target_clr in
+  Hashtbl.replace t.links id link;
+  link
+
+let add_link_msec t ~id ~capacity ~buffer_msec ~target_clr =
+  let buffer =
+    Queueing.Units.buffer_cells_of_msec ~msec:buffer_msec
+      ~service_cells_per_frame:capacity ~ts:Traffic.Models.ts
+  in
+  add_link t ~id ~capacity ~buffer ~target_clr
+
+let link t id =
+  match Hashtbl.find_opt t.links id with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown link %S" id)
+
+let links t =
+  Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
+  |> List.sort (fun a b -> compare (Link.id a) (Link.id b))
+
+let remove_link t id =
+  let _ = link t id in
+  Hashtbl.remove t.links id;
+  let stale =
+    Hashtbl.fold
+      (fun conn (l, _) acc -> if Link.id l = id then conn :: acc else acc)
+      t.conns []
+  in
+  List.iter (Hashtbl.remove t.conns) stale
+
+(* {2 Decision primitives, memoised} *)
+
+let cached_log10_bop t (cls : Source_class.t) ~b ~c ~n =
+  Decision_cache.find_or_add t.cache
+    (Bop { cls = cls.Source_class.name; b; c; n })
+    ~compute:(fun () ->
+      (Core.Bahadur_rao.evaluate cls.Source_class.vg
+         ~mu:(Source_class.mean cls) ~c ~b ~n)
+        .Core.Bahadur_rao.log10_bop)
+
+let cached_eff_bw t (cls : Source_class.t) ~total_buffer ~target_clr ~n =
+  Decision_cache.find_or_add t.cache
+    (Eff_bw { cls = cls.Source_class.name; total_buffer; target_clr; n })
+    ~compute:(fun () ->
+      Core.Admission.effective_bandwidth_per_source cls.Source_class.vg
+        ~mu:(Source_class.mean cls) ~n ~total_buffer ~target_clr)
+
+(* The candidate mix: the link's counts with one more [cls]. *)
+let candidate_counts link ~cls =
+  let bumped = ref false in
+  let counts =
+    List.map
+      (fun (c, n) ->
+        if c.Source_class.name = cls.Source_class.name then begin
+          bumped := true;
+          (c, n + 1)
+        end
+        else (c, n))
+      (Link.counts link)
+  in
+  if !bumped then counts else (cls, 1) :: counts
+
+let evaluate t ~link:link_id ~cls =
+  let link = link t link_id in
+  let counts = candidate_counts link ~cls in
+  let mean_load =
+    List.fold_left
+      (fun acc (c, n) -> acc +. (float_of_int n *. Source_class.mean c))
+      0.0 counts
+  in
+  let capacity = Link.capacity link in
+  if mean_load >= capacity then
+    {
+      admissible = false;
+      reason = Some Unstable;
+      log10_bop = None;
+      required_bw = None;
+    }
+  else begin
+    match counts with
+    | [ (only, n) ] ->
+        let nf = float_of_int n in
+        let bop =
+          cached_log10_bop t only ~b:(Link.buffer link /. nf)
+            ~c:(capacity /. nf) ~n
+        in
+        let ok = bop <= log10 (Link.target_clr link) in
+        {
+          admissible = ok;
+          reason = (if ok then None else Some Clr_exceeded);
+          log10_bop = Some bop;
+          required_bw = None;
+        }
+    | mix ->
+        let required =
+          List.fold_left
+            (fun acc (c, n) ->
+              acc
+              +. float_of_int n
+                 *. cached_eff_bw t c ~total_buffer:(Link.buffer link)
+                      ~target_clr:(Link.target_clr link) ~n)
+            0.0 mix
+        in
+        let ok = required <= capacity in
+        {
+          admissible = ok;
+          reason = (if ok then None else Some Clr_exceeded);
+          log10_bop = None;
+          required_bw = Some required;
+        }
+  end
+
+let would_admit t ~link ~cls = (evaluate t ~link ~cls).admissible
+
+let admit t ~link:link_id ~cls =
+  let started = t.clock () in
+  let verdict = evaluate t ~link:link_id ~cls in
+  if verdict.admissible then begin
+    let l = link t link_id in
+    Link.add l ~cls;
+    let conn = t.next_conn in
+    t.next_conn <- conn + 1;
+    Hashtbl.replace t.conns conn (l, cls);
+    Metrics.record_admit t.metrics ~latency:(t.clock () -. started);
+    Admitted conn
+  end
+  else begin
+    Metrics.record_reject t.metrics ~latency:(t.clock () -. started);
+    Rejected (Option.value verdict.reason ~default:Clr_exceeded)
+  end
+
+let release t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | None -> invalid_arg (Printf.sprintf "Engine.release: unknown connection %d" conn)
+  | Some (l, cls) ->
+      Hashtbl.remove t.conns conn;
+      Link.remove l ~cls;
+      Metrics.record_release t.metrics
+
+let connection t conn = Hashtbl.find_opt t.conns conn
+let active_connections t = Hashtbl.length t.conns
+
+let fill t ~link ~cls =
+  let rec go admitted =
+    match admit t ~link ~cls with
+    | Admitted _ -> go (admitted + 1)
+    | Rejected _ -> admitted
+  in
+  go 0
+
+let metrics t = t.metrics
+let cache_stats t = Decision_cache.stats t.cache

@@ -1,0 +1,107 @@
+(** The online connection-admission-control engine.
+
+    An engine owns a registry of {!Link}s, a table of live connections,
+    a {!Decision_cache} shared by every link, and {!Metrics}.  It
+    answers admit/release/query requests against live state:
+
+    - {b admit}: would the link still meet its CLR target with one
+      more connection of the given class?  If yes, the connection is
+      established and a connection id returned.
+    - {b release}: tear down a connection by id, restoring the link
+      state exactly.
+    - {b query}: non-mutating versions of the same decision, plus
+      utilisation accounting.
+
+    {2 Decision rule}
+
+    For a link with capacity [C] (cells/frame), buffer [B] (cells) and
+    CLR target [clr], a candidate mix is accepted when:
+
+    - the mix is homogeneous (one class, [n] connections): the
+      Bahadur–Rao overflow probability of [n] sources at [(C, B)] is
+      at most [clr] (exactly {!Core.Admission.max_admissible}'s
+      criterion);
+    - the mix is heterogeneous: the sum over classes of
+      [n_k * eb_k(n_k)] is at most [C], where [eb_k] is the per-source
+      effective bandwidth ({!Core.Admission.effective_bandwidth_per_source})
+      of [n_k] class-[k] sources alone on [(C, B)] at [clr].  Additive
+      effective bandwidths are mildly conservative — each class is
+      priced as if it had to meet the target by itself.
+
+    Both primitives are memoised in the decision cache: the
+    Bahadur–Rao evaluation under key [(class, b, c-per-source, n)] and
+    the effective bandwidth under [(class, B, clr, n)].  Since an
+    engine's reachable state space is small and heavily revisited,
+    steady-state decisions are O(1) hash lookups.
+
+    Engines are single-domain: share nothing across [Domain.spawn]
+    (see {!Sweep}). *)
+
+type t
+
+type reject_reason =
+  | Unstable  (** mean load of the candidate mix would reach capacity *)
+  | Clr_exceeded  (** the loss estimate for the candidate mix misses the target *)
+
+type decision = Admitted of int  (** connection id *) | Rejected of reject_reason
+
+type verdict = {
+  admissible : bool;
+  reason : reject_reason option;
+  log10_bop : float option;
+      (** Bahadur–Rao log10 BOP of the candidate mix (homogeneous path) *)
+  required_bw : float option;
+      (** total effective bandwidth of the candidate mix, cells/frame
+          (heterogeneous path) *)
+}
+
+val create : ?cache_capacity:int -> ?clock:(unit -> float) -> unit -> t
+(** [cache_capacity] bounds the decision cache (default 4096; 0
+    disables caching).  [clock] supplies wall-clock seconds for latency
+    metrics (default [Unix.gettimeofday]). *)
+
+val add_link :
+  t -> id:string -> capacity:float -> buffer:float -> target_clr:float -> Link.t
+(** Register a link.  Raises [Invalid_argument] if the id is taken. *)
+
+val add_link_msec :
+  t ->
+  id:string ->
+  capacity:float ->
+  buffer_msec:float ->
+  target_clr:float ->
+  Link.t
+(** Same, with the buffer given as a maximum drain delay in msec. *)
+
+val remove_link : t -> string -> unit
+(** Drop a link and all its connections. *)
+
+val link : t -> string -> Link.t
+(** Raises [Invalid_argument] on unknown ids. *)
+
+val links : t -> Link.t list
+
+val evaluate : t -> link:string -> cls:Source_class.t -> verdict
+(** The admission decision for one more [cls] connection, without
+    mutating anything (not even metrics). *)
+
+val would_admit : t -> link:string -> cls:Source_class.t -> bool
+
+val admit : t -> link:string -> cls:Source_class.t -> decision
+(** Decide, record metrics (including decision latency), and on
+    success establish the connection. *)
+
+val release : t -> conn:int -> unit
+(** Raises [Invalid_argument] for unknown connection ids. *)
+
+val connection : t -> int -> (Link.t * Source_class.t) option
+
+val active_connections : t -> int
+
+val fill : t -> link:string -> cls:Source_class.t -> int
+(** Admit [cls] connections until the first rejection; returns how many
+    were admitted by this call.  With an empty homogeneous link this
+    reproduces {!Core.Admission.max_admissible}. *)
+
+val metrics : t -> Metrics.t
+val cache_stats : t -> Decision_cache.stats

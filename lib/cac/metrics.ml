@@ -1,0 +1,71 @@
+type t = {
+  mutable admits : int;
+  mutable rejects : int;
+  mutable releases : int;
+  histogram : Stats.Histogram.t;  (* microseconds *)
+  mutable samples : float array;  (* microseconds *)
+  mutable n_samples : int;
+}
+
+let create () =
+  {
+    admits = 0;
+    rejects = 0;
+    releases = 0;
+    histogram = Stats.Histogram.create ~lo:0.0 ~hi:500.0 ~bins:100;
+    samples = Array.make 1024 0.0;
+    n_samples = 0;
+  }
+
+let record_latency t latency =
+  let us = latency *. 1e6 in
+  Stats.Histogram.add t.histogram us;
+  if t.n_samples = Array.length t.samples then begin
+    let grown = Array.make (2 * t.n_samples) 0.0 in
+    Array.blit t.samples 0 grown 0 t.n_samples;
+    t.samples <- grown
+  end;
+  t.samples.(t.n_samples) <- us;
+  t.n_samples <- t.n_samples + 1
+
+let record_admit t ~latency =
+  t.admits <- t.admits + 1;
+  record_latency t latency
+
+let record_reject t ~latency =
+  t.rejects <- t.rejects + 1;
+  record_latency t latency
+
+let record_release t = t.releases <- t.releases + 1
+let admits t = t.admits
+let rejects t = t.rejects
+let releases t = t.releases
+let decisions t = t.admits + t.rejects
+
+let blocking_probability t =
+  let d = decisions t in
+  if d = 0 then 0.0 else float_of_int t.rejects /. float_of_int d
+
+let latency_histogram t = t.histogram
+let latency_samples t = Array.sub t.samples 0 t.n_samples
+
+let latency_mean_us t =
+  if t.n_samples = 0 then 0.0
+  else Numerics.Float_array.mean (latency_samples t)
+
+let latency_ci_us t =
+  if t.n_samples < 2 then None
+  else Some (Stats.Ci.mean_ci (latency_samples t))
+
+let print ?(label = "cac") t =
+  Printf.printf "%s: %d admits, %d rejects, %d releases (blocking %.4f)\n"
+    label t.admits t.rejects t.releases (blocking_probability t);
+  if t.n_samples > 0 then begin
+    match latency_ci_us t with
+    | Some ci ->
+        Printf.printf "%s: decision latency %.2f us (95%% CI +/- %.2f, n = %d)\n"
+          label ci.Stats.Ci.point ci.Stats.Ci.half_width t.n_samples
+    | None ->
+        Printf.printf "%s: decision latency %.2f us (n = %d)\n" label
+          (latency_mean_us t) t.n_samples
+  end

@@ -1,0 +1,43 @@
+(** Operational counters and latency accounting for the CAC engine.
+
+    Tracks admits, rejects and releases, the derived blocking
+    probability, and the wall-clock latency of every decision — both
+    as a {!Stats.Histogram.t} (fixed microsecond bins) and as raw
+    samples for mean / confidence-interval summaries via
+    {!Stats.Ci}. *)
+
+type t
+
+val create : unit -> t
+
+val record_admit : t -> latency:float -> unit
+(** [latency] in seconds, as measured around the decision. *)
+
+val record_reject : t -> latency:float -> unit
+val record_release : t -> unit
+
+val admits : t -> int
+val rejects : t -> int
+val releases : t -> int
+
+val decisions : t -> int
+(** [admits + rejects]. *)
+
+val blocking_probability : t -> float
+(** [rejects / decisions]; 0 when no decisions were made. *)
+
+val latency_histogram : t -> Stats.Histogram.t
+(** Decision latency in microseconds, 0–500 us in 100 bins (slower
+    decisions land in the overflow bin). *)
+
+val latency_samples : t -> float array
+(** All recorded decision latencies, microseconds, in arrival order. *)
+
+val latency_mean_us : t -> float
+(** Mean decision latency in microseconds; 0 when empty. *)
+
+val latency_ci_us : t -> Stats.Ci.interval option
+(** 95% Student-t interval on the mean latency (needs >= 2 samples). *)
+
+val print : ?label:string -> t -> unit
+(** Human-readable summary on stdout. *)

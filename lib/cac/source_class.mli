@@ -1,0 +1,40 @@
+(** Named traffic classes for the admission engine.
+
+    A class bundles a {!Traffic.Process.t} (one of the paper's VBR
+    video models) with its memoised {!Core.Variance_growth.t}, so every
+    decision about the class shares one incrementally-built V(m) table.
+    The class [name] is the stable identifier used in decision-cache
+    keys and CLI arguments.
+
+    [of_name] resolves through a process-wide registry, sharing the
+    variance-growth table across engines in the same domain.  [fresh]
+    bypasses the registry: variance-growth tables mutate internally on
+    evaluation, so code that fans work across OCaml domains (see
+    {!Sweep}) must build a private instance per domain. *)
+
+type t = {
+  name : string;
+  process : Traffic.Process.t;
+  vg : Core.Variance_growth.t;
+}
+
+val names : string list
+(** The known class names: z0.7, z0.9, z0.975, z0.99, l, dar1, dar2,
+    dar3, mpeg. *)
+
+val of_name : string -> t option
+(** Resolve a name through the shared registry (case-insensitive).
+    [None] for unknown names. *)
+
+val of_name_exn : string -> t
+(** Like {!of_name}, raising [Invalid_argument] on unknown names. *)
+
+val fresh : string -> t option
+(** Build a private, registry-bypassing instance — required when the
+    class will be used from a spawned domain. *)
+
+val of_process : Traffic.Process.t -> t
+(** Wrap an arbitrary process (name taken from the process). *)
+
+val mean : t -> float
+(** Mean frame size, cells/frame. *)

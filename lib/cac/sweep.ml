@@ -1,0 +1,149 @@
+type scenario = {
+  class_name : string;
+  capacity : float;
+  buffer_msec : float;
+  target_clr : float;
+  requests : int;
+  load_factor : float;
+  seed : int;
+}
+
+type row = {
+  scenario : scenario;
+  n_max : int;
+  eff_bw : float;
+  utilization : float;
+  blocking : float option;
+  cache_hit_rate : float option;
+}
+
+let grid ?(capacity = 16140.0) ?(requests = 0) ?(load_factor = 1.1)
+    ?(seed = 1996) ~class_names ~buffers_msec ~target_clrs () =
+  let scenarios = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun class_name ->
+      List.iter
+        (fun buffer_msec ->
+          List.iter
+            (fun target_clr ->
+              scenarios :=
+                {
+                  class_name;
+                  capacity;
+                  buffer_msec;
+                  target_clr;
+                  requests;
+                  load_factor;
+                  (* Per-scenario seeds keep every cell's workload
+                     independent of evaluation order. *)
+                  seed = seed + (7919 * !index);
+                }
+                :: !scenarios;
+              incr index)
+            target_clrs)
+        buffers_msec)
+    class_names;
+  List.rev !scenarios
+
+let evaluate scenario =
+  (* Everything domain-local: fresh class (private variance-growth
+     table), fresh engine (private cache). *)
+  let cls =
+    match Source_class.fresh scenario.class_name with
+    | Some cls -> cls
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Sweep: unknown class %S" scenario.class_name)
+  in
+  let make_engine () =
+    let engine = Engine.create ~clock:(fun () -> 0.0) () in
+    let _ =
+      Engine.add_link_msec engine ~id:"link" ~capacity:scenario.capacity
+        ~buffer_msec:scenario.buffer_msec ~target_clr:scenario.target_clr
+    in
+    (engine, "link")
+  in
+  let engine, link = make_engine () in
+  let n_max = Engine.fill engine ~link ~cls in
+  let utilization =
+    float_of_int n_max *. Source_class.mean cls /. scenario.capacity
+  in
+  let blocking, cache_hit_rate =
+    if scenario.requests <= 0 || n_max = 0 then (None, None)
+    else begin
+      let mean_holding = 60.0 in
+      let offered = scenario.load_factor *. float_of_int n_max in
+      let spec =
+        Workload.spec ~mean_holding
+          ~arrival_rate:(offered /. mean_holding)
+          ~requests:scenario.requests ~mix:[ (cls, 1.0) ] ()
+      in
+      let engine, link = make_engine () in
+      let result =
+        Workload.run engine ~link spec
+          (Numerics.Rng.create ~seed:scenario.seed)
+      in
+      (Some result.Workload.steady_blocking,
+       Some result.Workload.steady_cache_hit_rate)
+    end
+  in
+  {
+    scenario;
+    n_max;
+    eff_bw =
+      (if n_max = 0 then infinity
+       else scenario.capacity /. float_of_int n_max);
+    utilization;
+    blocking;
+    cache_hit_rate;
+  }
+
+let run ?domains scenarios =
+  let scenarios = Array.of_list scenarios in
+  let n = Array.length scenarios in
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Sweep.run: domains < 1";
+        Stdlib.min d (Stdlib.max 1 n)
+    | None -> Stdlib.min (Domain.recommended_domain_count ()) (Stdlib.max 1 n)
+  in
+  let rows = Array.make n None in
+  if domains <= 1 then
+    Array.iteri (fun i s -> rows.(i) <- Some (evaluate s)) scenarios
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          rows.(i) <- Some (evaluate scenarios.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.map (fun r -> Option.get r) rows
+
+let print_table rows =
+  Printf.printf "%-8s %10s %8s %8s %6s %8s %9s %8s\n" "class" "buf_msec"
+    "clr" "n_max" "util" "eff_bw" "blocking" "hit%";
+  Array.iter
+    (fun row ->
+      let s = row.scenario in
+      Printf.printf "%-8s %10g %8.0e %8d %5.1f%% %8.1f %9s %8s\n" s.class_name
+        s.buffer_msec s.target_clr row.n_max
+        (100.0 *. row.utilization)
+        row.eff_bw
+        (match row.blocking with
+        | Some b -> Printf.sprintf "%.4f" b
+        | None -> "-")
+        (match row.cache_hit_rate with
+        | Some h -> Printf.sprintf "%.1f" (100.0 *. h)
+        | None -> "-"))
+    rows

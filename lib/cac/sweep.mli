@@ -1,0 +1,58 @@
+(** Domain-parallel capacity-planning sweeps.
+
+    A sweep evaluates a grid of admission scenarios — (source class,
+    buffer, CLR target) on a fixed link — and reports, per cell, the
+    admissible-region boundary found by filling a fresh engine to its
+    first rejection, plus a replayed stochastic workload's blocking
+    probability and cache hit rate.
+
+    Scenarios are deterministic functions of their parameters and seed,
+    so a parallel run over OCaml 5 domains returns bit-identical rows
+    to a sequential one.  Each scenario builds its own engine and
+    {!Source_class.fresh} instance: variance-growth tables and decision
+    caches mutate on use and must never be shared across domains. *)
+
+type scenario = {
+  class_name : string;  (** resolved per-domain via {!Source_class.fresh} *)
+  capacity : float;  (** link capacity, cells/frame *)
+  buffer_msec : float;
+  target_clr : float;
+  requests : int;  (** workload attempts; 0 skips the replay *)
+  load_factor : float;
+      (** offered load as a fraction of the fill boundary [n_max] *)
+  seed : int;
+}
+
+type row = {
+  scenario : scenario;
+  n_max : int;  (** connections admitted before the first rejection *)
+  eff_bw : float;
+      (** capacity / n_max, cells/frame; [infinity] when [n_max = 0] *)
+  utilization : float;  (** mean load over capacity at [n_max] *)
+  blocking : float option;  (** steady-state, when a workload ran *)
+  cache_hit_rate : float option;  (** steady-state, when a workload ran *)
+}
+
+val grid :
+  ?capacity:float ->
+  ?requests:int ->
+  ?load_factor:float ->
+  ?seed:int ->
+  class_names:string list ->
+  buffers_msec:float list ->
+  target_clrs:float list ->
+  unit ->
+  scenario list
+(** The cartesian product, in row-major (class, buffer, clr) order.
+    Defaults: [capacity = 16140] (the paper's OC-3-ish link),
+    [requests = 0], [load_factor = 1.1], [seed = 1996].  Seeds are
+    derived per scenario from [seed] and the scenario index. *)
+
+val run : ?domains:int -> scenario list -> row array
+(** Evaluate every scenario, fanning across [domains] OCaml domains
+    (default [Domain.recommended_domain_count], capped by the number
+    of scenarios; 1 means fully sequential).  Row order matches the
+    input order regardless of parallelism. *)
+
+val print_table : row array -> unit
+(** Aligned capacity-planning table on stdout. *)

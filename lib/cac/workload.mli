@@ -1,0 +1,63 @@
+(** A stochastic connection-level workload for stressing the engine:
+    Poisson arrivals, exponential holding times, and a weighted mix of
+    source classes — the classic Erlang loss setting, with the CAC
+    decision in place of a fixed trunk count.
+
+    Everything is driven by a {!Numerics.Rng.t}, so a replay is exactly
+    reproducible from a seed, and replications fan out over
+    {!Queueing.Replication} substreams. *)
+
+type spec = {
+  arrival_rate : float;  (** connection attempts per second *)
+  mean_holding : float;  (** mean connection lifetime, seconds *)
+  requests : int;  (** connection attempts to replay *)
+  mix : (Source_class.t * float) list;
+      (** classes with positive sampling weights *)
+  warmup : float;
+      (** fraction of requests treated as warm-up when reporting
+          steady-state figures (in [0, 1)) *)
+}
+
+val spec :
+  ?warmup:float ->
+  ?mean_holding:float ->
+  arrival_rate:float ->
+  requests:int ->
+  mix:(Source_class.t * float) list ->
+  unit ->
+  spec
+(** Defaults: [warmup = 0.2], [mean_holding = 60.0]. *)
+
+val offered_load : spec -> float
+(** [arrival_rate * mean_holding]: mean number of simultaneously
+    active connections the workload tries to sustain (Erlangs). *)
+
+type result = {
+  offered : int;  (** connection attempts replayed *)
+  admitted : int;
+  rejected : int;
+  blocking : float;  (** rejected / offered *)
+  steady_blocking : float;  (** same, over the post-warm-up portion *)
+  cache_hit_rate : float;  (** over the whole replay *)
+  steady_cache_hit_rate : float;  (** over the post-warm-up portion *)
+  mean_occupancy : float;  (** time-average of active connections *)
+  peak_occupancy : int;
+  final_occupancy : int;
+  mean_latency_us : float;  (** mean decision latency, microseconds *)
+  duration : float;  (** simulated seconds *)
+}
+
+val run : Engine.t -> link:string -> spec -> Numerics.Rng.t -> result
+(** Replay [spec.requests] connection attempts against [link],
+    releasing each admitted connection when its exponential holding
+    time expires.  The engine is used as-is (its cache may be warm). *)
+
+val replicate :
+  seed:int ->
+  reps:int ->
+  make_engine:(unit -> Engine.t * string) ->
+  spec ->
+  result array * Stats.Ci.interval
+(** Independent replications, one fresh engine and RNG substream each;
+    returns the per-replication results and a Student-t interval on
+    the steady-state blocking probability. *)

@@ -1,0 +1,8 @@
+(** Admissible region through the online CAC engine: Markov vs LRD
+    source models at 10/20/30 msec buffers (paper sec. 5.4 remark),
+    with a replayed connection workload per grid cell. *)
+
+val rows : unit -> Cac.Sweep.row array
+(** The sweep behind the figure, at the current scale knobs. *)
+
+val run : unit -> unit

@@ -104,6 +104,12 @@ let all =
       run = Exp_admission.run;
     };
     {
+      id = "cac";
+      title = "Online CAC engine: admissible region, Markov vs LRD";
+      simulated = true;
+      run = Exp_cac.run;
+    };
+    {
       id = "shaping";
       title = "Shaping window vs loss at fixed delay budget (extension)";
       simulated = false;
@@ -113,11 +119,12 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all ?(include_simulated = true) () =
+let run_all ?(include_simulated = true) ?(quiet = false) () =
   List.iter
     (fun e ->
       if include_simulated || not e.simulated then begin
-        Printf.printf "\n######## %s: %s ########\n%!" e.id e.title;
+        if not quiet then
+          Printf.printf "\n######## %s: %s ########\n%!" e.id e.title;
         e.run ()
       end)
     all

@@ -13,4 +13,5 @@ val all : entry list
 
 val find : string -> entry option
 
-val run_all : ?include_simulated:bool -> unit -> unit
+val run_all : ?include_simulated:bool -> ?quiet:bool -> unit -> unit
+(** [quiet] suppresses the per-experiment banner lines. *)

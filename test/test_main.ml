@@ -26,5 +26,6 @@ let () =
       ("ascii_plot", Test_ascii_plot.suite);
       ("shaper", Test_shaper.suite);
       ("misc", Test_misc.suite);
+      ("cac", Test_cac.suite);
       ("experiments", Test_experiments.suite);
     ]
