@@ -108,6 +108,21 @@ let micro_tests () =
     (let engine, z = cac_engine ~cache_capacity:0 in
      Test.make ~name:"cac_decide_uncached"
        (Staged.stage (fun () -> Cac.Engine.evaluate engine ~link:"link" ~cls:z)));
+    (* Obs primitives: the per-event costs every instrumented hot path
+       pays, so the null-sink overhead is auditable from this table
+       (events per op x cost per event). *)
+    (let c = Obs.Registry.Counter.v "bench.obs.counter" in
+     Test.make ~name:"obs_counter_incr"
+       (Staged.stage (fun () -> Obs.Registry.Counter.incr c)));
+    (let h = Obs.Registry.Histogram.v "bench.obs.hist" in
+     Test.make ~name:"obs_histogram_observe"
+       (Staged.stage (fun () -> Obs.Registry.Histogram.observe h 42.0)));
+    Test.make ~name:"obs_keyed_incr"
+      (Staged.stage (fun () -> Obs.Registry.incr "bench.obs.keyed"));
+    Test.make ~name:"obs_clock_monotonic_ns"
+      (Staged.stage Obs.Clock.monotonic_ns);
+    Test.make ~name:"obs_span_null_sink"
+      (Staged.stage (fun () -> Obs.Span.with_ ~name:"bench.obs.span" Fun.id));
   ]
 
 let run_micro () =
@@ -119,21 +134,90 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   Printf.printf "\n######## micro-benchmarks (ns/op) ########\n%!";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun sub ->
           let name = Test.Elt.name sub in
           let raw = Benchmark.run cfg instances sub in
-          match
-            Analyze.OLS.estimates (Analyze.one ols Instance.monotonic_clock raw)
-          with
-          | Some [ time ] -> Printf.printf "%-28s %12.1f\n%!" name time
-          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+          let runs = raw.Benchmark.stats.Benchmark.samples in
+          let ns_per_run =
+            match
+              Analyze.OLS.estimates
+                (Analyze.one ols Instance.monotonic_clock raw)
+            with
+            | Some [ time ] -> Some time
+            | _ -> None
+          in
+          (match ns_per_run with
+          | Some time -> Printf.printf "%-28s %12.1f\n%!" name time
+          | None -> Printf.printf "%-28s (no estimate)\n%!" name);
+          (name, ns_per_run, runs))
         (Test.elements test))
     (micro_tests ())
 
+(* Machine-readable results for CI trend tracking and the overhead
+   checks in docs/observability.md. *)
+let write_json_results path results =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("schema", String "cts.bench.v1");
+        ( "results",
+          List
+            (List.map
+               (fun (name, ns_per_run, runs) ->
+                 Obj
+                   [
+                     ("name", String name);
+                     ( "ns_per_run",
+                       match ns_per_run with
+                       | Some t -> Float t
+                       | None -> Null );
+                     ("runs", Int runs);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string doc);
+      output_char oc '\n');
+  Printf.printf "\nmicro-benchmark results written to %s\n%!" path
+
+(* Minimal flag scan: the harness predates cmdliner here and the only
+   option is [--json PATH] (or [--json=PATH]). *)
+let parse_json_path () =
+  let argv = Sys.argv in
+  let path = ref None in
+  let i = ref 1 in
+  let n = Array.length argv in
+  while !i < n do
+    let arg = argv.(!i) in
+    if arg = "--json" then begin
+      if !i + 1 >= n then begin
+        prerr_endline "bench: --json needs a PATH argument";
+        exit 2
+      end;
+      path := Some argv.(!i + 1);
+      i := !i + 2
+    end
+    else if String.length arg > 7 && String.sub arg 0 7 = "--json=" then begin
+      path := Some (String.sub arg 7 (String.length arg - 7));
+      incr i
+    end
+    else begin
+      Printf.eprintf "bench: unknown argument %S (only --json PATH)\n" arg;
+      exit 2
+    end
+  done;
+  !path
+
 let () =
+  let json_path = parse_json_path () in
   Printf.printf "CTS reproduction bench harness\n";
   Printf.printf "scale: CTS_FRAMES=%d CTS_REPS=%d CTS_SEED=%d\n%!"
     (Experiments.Common.frames ()) (Experiments.Common.reps ())
@@ -145,6 +229,7 @@ let () =
   Printf.printf "\nexperiments completed in %.1f s\n%!"
     (Unix.gettimeofday () -. t0);
   if not (env_flag "CTS_BENCH_NO_MICRO") then begin
-    run_micro ();
-    report_cac_speedup ()
+    let results = run_micro () in
+    report_cac_speedup ();
+    Option.iter (fun path -> write_json_results path results) json_path
   end

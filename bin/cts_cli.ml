@@ -14,6 +14,93 @@ let apply_scale ~frames ~reps ~seed ~results_dir =
 
 open Cmdliner
 
+(* {2 Telemetry plumbing}
+
+   [--metrics FMT] renders an Obs registry snapshot after the command
+   body (to stdout, or to [--metrics-out PATH]); [--trace FILE]
+   streams span-completion events as JSON lines while it runs. *)
+
+let metrics_format_conv =
+  let parse s =
+    match Obs.Export.format_of_string s with
+    | Some f -> Ok f
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown metrics format %S (text|json|prom)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with
+      | Obs.Export.Text -> "text"
+      | Obs.Export.Json_doc -> "json"
+      | Obs.Export.Prometheus -> "prom")
+  in
+  Arg.conv (parse, print)
+
+type obs_opts = {
+  metrics : Obs.Export.format option;
+  metrics_out : string;
+  trace : string option;
+}
+
+let obs_term =
+  let metrics_arg =
+    let doc =
+      "After the command finishes, render the telemetry registry as $(docv): \
+       $(b,text), $(b,json) (one document), or $(b,prom) (Prometheus text \
+       exposition)."
+    in
+    Arg.(
+      value
+      & opt (some metrics_format_conv) None
+      & info [ "metrics" ] ~docv:"FMT" ~doc)
+  in
+  let metrics_out_arg =
+    let doc = "Where to write the $(b,--metrics) document ('-' = stdout)." in
+    Arg.(value & opt string "-" & info [ "metrics-out" ] ~docv:"PATH" ~doc)
+  in
+  let trace_arg =
+    let doc = "Stream span events to $(docv) as JSON lines while running." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  Term.(
+    const (fun metrics metrics_out trace -> { metrics; metrics_out; trace })
+    $ metrics_arg $ metrics_out_arg $ trace_arg)
+
+(* A bad --trace/--metrics-out path is a usage problem, not an
+   internal error: report it cleanly instead of letting Sys_error
+   escape (wrapped in Finally_raised) through Cmd.eval. *)
+let open_out_or_die ~flag path =
+  try open_out path
+  with Sys_error msg ->
+    Printf.eprintf "cts: cannot open %s file: %s\n%!" flag msg;
+    exit 1
+
+let with_obs opts f =
+  let trace_oc =
+    Option.map (open_out_or_die ~flag:"--trace") opts.trace
+  in
+  (match trace_oc with
+  | Some oc -> Obs.Span.set_trace_sink (Obs.Sink.Jsonl oc)
+  | None -> ());
+  let finish () =
+    (match trace_oc with
+    | Some oc ->
+        Obs.Span.set_trace_sink Obs.Sink.Null;
+        close_out oc
+    | None -> ());
+    match opts.metrics with
+    | None -> ()
+    | Some fmt -> (
+        let doc = Obs.Export.render fmt (Obs.Registry.snapshot ()) in
+        match opts.metrics_out with
+        | "-" -> print_string doc
+        | path ->
+            let oc = open_out_or_die ~flag:"--metrics-out" path in
+            output_string oc doc;
+            close_out oc)
+  in
+  Fun.protect ~finally:finish f
+
 let frames_arg =
   let doc = "Frames per simulation replication (default 20000)." in
   Arg.(value & opt (some int) None & info [ "frames" ] ~docv:"N" ~doc)
@@ -52,8 +139,10 @@ let run_cmd =
     let doc = "Experiment identifiers (see $(b,list)); 'all' runs everything." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run frames reps seed results_dir quiet ids =
+  let run frames reps seed results_dir quiet obs_opts ids =
     apply_scale ~frames ~reps ~seed ~results_dir;
+    if quiet then Obs.Sink.set_human Obs.Sink.Null;
+    with_obs obs_opts @@ fun () ->
     (* Any experiment raising mid-run must surface as a non-zero exit,
        not just a stack trace on a successful process. *)
     let failures =
@@ -71,7 +160,7 @@ let run_cmd =
                 if not quiet then
                   Printf.printf "\n######## %s: %s ########\n%!"
                     e.Experiments.Registry.id e.Experiments.Registry.title;
-                match e.Experiments.Registry.run () with
+                match Experiments.Registry.run_entry e with
                 | () -> None
                 | exception exn ->
                     Some (Printf.sprintf "%s: %s" id (Printexc.to_string exn))
@@ -89,7 +178,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ frames_arg $ reps_arg $ seed_arg $ results_dir_arg
-       $ quiet_arg $ ids_arg))
+       $ quiet_arg $ obs_term $ ids_arg))
 
 let analytic_cmd =
   let run frames reps seed results_dir =
@@ -316,7 +405,8 @@ let cac_decide_cmd =
     let doc = "Connections of the class already admitted on the link." in
     Arg.(value & opt int 0 & info [ "n" ] ~docv:"N" ~doc)
   in
-  let run model capacity buffer_msec target_clr existing =
+  let run model capacity buffer_msec target_clr existing obs_opts =
+    with_obs obs_opts @@ fun () ->
     match Cac.Source_class.of_name model with
     | None ->
         `Error
@@ -382,7 +472,7 @@ let cac_decide_cmd =
     Term.(
       ret
         (const run $ cac_class_arg $ cac_capacity_arg $ buffer_arg $ cac_clr_arg
-       $ existing_arg))
+       $ existing_arg $ obs_term))
 
 let cac_replay_cmd =
   let mix_arg =
@@ -413,7 +503,9 @@ let cac_replay_cmd =
     let doc = "Random seed." in
     Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run mix_s capacity buffer_msec target_clr requests rate holding seed =
+  let run mix_s capacity buffer_msec target_clr requests rate holding seed
+      obs_opts =
+    with_obs obs_opts @@ fun () ->
     match parse_mix mix_s with
     | None ->
         `Error
@@ -477,7 +569,7 @@ let cac_replay_cmd =
     Term.(
       ret
         (const run $ mix_arg $ cac_capacity_arg $ buffer_arg $ cac_clr_arg
-       $ requests_arg $ rate_arg $ holding_arg $ seed_replay_arg))
+       $ requests_arg $ rate_arg $ holding_arg $ seed_replay_arg $ obs_term))
 
 let cac_sweep_cmd =
   let models_arg =
@@ -511,7 +603,8 @@ let cac_sweep_cmd =
     let doc = "Re-run sequentially and verify bit-identical results." in
     Arg.(value & flag & info [ "check-sequential" ] ~doc)
   in
-  let run models buffers clrs capacity requests domains seed check =
+  let run models buffers clrs capacity requests domains seed check obs_opts =
+    with_obs obs_opts @@ fun () ->
     let class_names = split_commas models in
     let unknown =
       List.filter (fun n -> Cac.Source_class.of_name n = None) class_names
@@ -552,13 +645,61 @@ let cac_sweep_cmd =
     Term.(
       ret
         (const run $ models_arg $ buffers_arg $ clrs_arg $ cac_capacity_arg
-       $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg))
+       $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg $ obs_term))
 
 let cac_cmd =
   Cmd.group
     (Cmd.info "cac"
        ~doc:"Online connection-admission-control engine (decide, replay, sweep)")
     [ cac_decide_cmd; cac_replay_cmd; cac_sweep_cmd ]
+
+(* {2 The obs command group} *)
+
+let obs_format_arg =
+  let doc = "Output format: $(b,text), $(b,json) or $(b,prom)." in
+  Arg.(
+    value
+    & opt metrics_format_conv Obs.Export.Prometheus
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let obs_export_cmd =
+  let run fmt =
+    print_string (Obs.Export.render fmt (Obs.Registry.snapshot ()))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Render the telemetry registry (all declared instruments, zero-valued \
+          in a fresh process — mainly useful for inspecting the exposition \
+          formats and instrument schema)")
+    Term.(const run $ obs_format_arg)
+
+let obs_list_cmd =
+  let run () =
+    let snap = Obs.Registry.snapshot () in
+    Printf.printf "%-10s %s\n" "kind" "instrument";
+    List.iter
+      (fun (key, _) ->
+        Printf.printf "%-10s %s\n" "counter" (Obs.Export.key_string key))
+      snap.Obs.Registry.counters;
+    List.iter
+      (fun (key, _) ->
+        Printf.printf "%-10s %s\n" "gauge" (Obs.Export.key_string key))
+      snap.Obs.Registry.gauges;
+    List.iter
+      (fun (key, _) ->
+        Printf.printf "%-10s %s\n" "histogram" (Obs.Export.key_string key))
+      snap.Obs.Registry.histograms
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the declared telemetry instruments")
+    Term.(const run $ const ())
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Telemetry: instrument schema and exposition formats")
+    [ obs_export_cmd; obs_list_cmd ]
 
 let main =
   let doc =
@@ -567,6 +708,15 @@ let main =
   in
   Cmd.group
     (Cmd.info "cts" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; analytic_cmd; analyze_cmd; admit_cmd; simulate_cmd; cac_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      analytic_cmd;
+      analyze_cmd;
+      admit_cmd;
+      simulate_cmd;
+      cac_cmd;
+      obs_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

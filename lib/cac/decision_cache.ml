@@ -1,6 +1,14 @@
 (* Hashtbl over an intrusive doubly-linked recency list: O(1) lookup,
    insertion, touch and eviction. *)
 
+(* Every cache feeds the process-wide registry counters below (summed
+   over all instances and domains); the per-instance [stats] view
+   remains for steady-state windows ({!diff}) within one run. *)
+let () =
+  Obs.Registry.declare_counter "cac.cache.hits";
+  Obs.Registry.declare_counter "cac.cache.misses";
+  Obs.Registry.declare_counter "cac.cache.evictions"
+
 type ('k, 'v) node = {
   key : 'k;
   value : 'v;
@@ -16,6 +24,10 @@ type ('k, 'v) t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* registry handles (each domain resolves its own shard cell) *)
+  c_hits : Obs.Registry.Counter.t;
+  c_misses : Obs.Registry.Counter.t;
+  c_evictions : Obs.Registry.Counter.t;
 }
 
 let create ~capacity =
@@ -28,6 +40,9 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    c_hits = Obs.Registry.Counter.v "cac.cache.hits";
+    c_misses = Obs.Registry.Counter.v "cac.cache.misses";
+    c_evictions = Obs.Registry.Counter.v "cac.cache.evictions";
   }
 
 let unlink t node =
@@ -52,12 +67,14 @@ let evict_lru t =
   | Some node ->
       unlink t node;
       Hashtbl.remove t.table node.key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Obs.Registry.Counter.incr t.c_evictions
 
 let find_or_add t key ~compute =
   match Hashtbl.find_opt t.table key with
   | Some node ->
       t.hits <- t.hits + 1;
+      Obs.Registry.Counter.incr t.c_hits;
       let is_head = match t.head with Some h -> h == node | None -> false in
       if not is_head then begin
         unlink t node;
@@ -66,6 +83,7 @@ let find_or_add t key ~compute =
       node.value
   | None ->
       t.misses <- t.misses + 1;
+      Obs.Registry.Counter.incr t.c_misses;
       let value = compute () in
       if t.cap > 0 then begin
         if Hashtbl.length t.table >= t.cap then evict_lru t;

@@ -9,9 +9,13 @@
 
     The cache is generic in key and value, bounded by an entry
     capacity, and evicts least-recently-used entries.  Hit, miss and
-    eviction counters are maintained for the engine's metrics.  A
-    capacity of 0 disables memoisation (every lookup recomputes),
-    which gives benchmarks and tests an uncached reference path.
+    eviction counts flow to two places: the process-wide telemetry
+    counters [cac.cache.{hits,misses,evictions}] in {!Obs.Registry}
+    (summed over every cache instance and domain — the export source
+    of truth), and a per-instance {!stats} view used for steady-state
+    windows within one run ({!diff}).  A capacity of 0 disables
+    memoisation (every lookup recomputes), which gives benchmarks and
+    tests an uncached reference path.
 
     Not thread-safe: use one cache per domain. *)
 

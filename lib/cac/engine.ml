@@ -2,8 +2,17 @@ type key =
   | Bop of { cls : string; b : float; c : float; n : int }
   | Eff_bw of { cls : string; total_buffer : float; target_clr : float; n : int }
 
+(* Per-link registry instruments, bound when the link is added. *)
+type link_telemetry = {
+  t_admits : Obs.Registry.Counter.t;
+  t_rejects : Obs.Registry.Counter.t;
+  t_releases : Obs.Registry.Counter.t;
+  t_connections : Obs.Registry.Gauge.t;
+}
+
 type t = {
   links : (string, Link.t) Hashtbl.t;
+  link_telemetry : (string, link_telemetry) Hashtbl.t;
   conns : (int, Link.t * Source_class.t) Hashtbl.t;
   cache : (key, float) Decision_cache.t;
   metrics : Metrics.t;
@@ -24,6 +33,7 @@ type verdict = {
 let create ?(cache_capacity = 4096) ?(clock = Unix.gettimeofday) () =
   {
     links = Hashtbl.create 8;
+    link_telemetry = Hashtbl.create 8;
     conns = Hashtbl.create 256;
     cache = Decision_cache.create ~capacity:cache_capacity;
     metrics = Metrics.create ();
@@ -36,6 +46,14 @@ let add_link t ~id ~capacity ~buffer ~target_clr =
     invalid_arg (Printf.sprintf "Engine.add_link: duplicate link id %S" id);
   let link = Link.create ~id ~capacity ~buffer ~target_clr in
   Hashtbl.replace t.links id link;
+  let labels = Obs.Labels.make [ ("link", id) ] in
+  Hashtbl.replace t.link_telemetry id
+    {
+      t_admits = Obs.Registry.Counter.v ~labels "cac.engine.link.admits";
+      t_rejects = Obs.Registry.Counter.v ~labels "cac.engine.link.rejects";
+      t_releases = Obs.Registry.Counter.v ~labels "cac.engine.link.releases";
+      t_connections = Obs.Registry.Gauge.v ~labels "cac.engine.link.connections";
+    };
   link
 
 let add_link_msec t ~id ~capacity ~buffer_msec ~target_clr =
@@ -54,9 +72,12 @@ let links t =
   Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
   |> List.sort (fun a b -> compare (Link.id a) (Link.id b))
 
+let link_telemetry t id = Hashtbl.find_opt t.link_telemetry id
+
 let remove_link t id =
   let _ = link t id in
   Hashtbl.remove t.links id;
+  Hashtbl.remove t.link_telemetry id;
   let stale =
     Hashtbl.fold
       (fun conn (l, _) acc -> if Link.id l = id then conn :: acc else acc)
@@ -151,6 +172,7 @@ let would_admit t ~link ~cls = (evaluate t ~link ~cls).admissible
 let admit t ~link:link_id ~cls =
   let started = t.clock () in
   let verdict = evaluate t ~link:link_id ~cls in
+  let tel = link_telemetry t link_id in
   if verdict.admissible then begin
     let l = link t link_id in
     Link.add l ~cls;
@@ -158,10 +180,18 @@ let admit t ~link:link_id ~cls =
     t.next_conn <- conn + 1;
     Hashtbl.replace t.conns conn (l, cls);
     Metrics.record_admit t.metrics ~latency:(t.clock () -. started);
+    (match tel with
+    | Some tel ->
+        Obs.Registry.Counter.incr tel.t_admits;
+        Obs.Registry.Gauge.add tel.t_connections 1.0
+    | None -> ());
     Admitted conn
   end
   else begin
     Metrics.record_reject t.metrics ~latency:(t.clock () -. started);
+    (match tel with
+    | Some tel -> Obs.Registry.Counter.incr tel.t_rejects
+    | None -> ());
     Rejected (Option.value verdict.reason ~default:Clr_exceeded)
   end
 
@@ -171,7 +201,12 @@ let release t ~conn =
   | Some (l, cls) ->
       Hashtbl.remove t.conns conn;
       Link.remove l ~cls;
-      Metrics.record_release t.metrics
+      Metrics.record_release t.metrics;
+      (match link_telemetry t (Link.id l) with
+      | Some tel ->
+          Obs.Registry.Counter.incr tel.t_releases;
+          Obs.Registry.Gauge.add tel.t_connections (-1.0)
+      | None -> ())
 
 let connection t conn = Hashtbl.find_opt t.conns conn
 let active_connections t = Hashtbl.length t.conns

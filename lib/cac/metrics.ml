@@ -1,3 +1,20 @@
+(* Engine metrics are recorded twice on purpose: every event feeds the
+   process-wide Obs registry (the export source of truth, summed over
+   all engines), while the instance keeps just enough state — counts
+   and raw latency samples — for per-run summaries and confidence
+   intervals that a merged registry cannot provide. *)
+
+let latency_lo_us = 0.0
+let latency_hi_us = 500.0
+let latency_bins = 100
+
+let () =
+  Obs.Registry.declare_counter "cac.engine.admits";
+  Obs.Registry.declare_counter "cac.engine.rejects";
+  Obs.Registry.declare_counter "cac.engine.releases";
+  Obs.Registry.declare_histogram ~lo:latency_lo_us ~hi:latency_hi_us
+    ~bins:latency_bins "cac.engine.decision_latency_us"
+
 type t = {
   mutable admits : int;
   mutable rejects : int;
@@ -5,21 +22,44 @@ type t = {
   histogram : Stats.Histogram.t;  (* microseconds *)
   mutable samples : float array;  (* microseconds *)
   mutable n_samples : int;
+  (* registry handles (each domain resolves its own shard cell) *)
+  c_admits : Obs.Registry.Counter.t;
+  c_rejects : Obs.Registry.Counter.t;
+  c_releases : Obs.Registry.Counter.t;
+  h_latency : Obs.Registry.Histogram.t;
 }
 
 let create () =
+  let histogram =
+    Stats.Histogram.create ~lo:latency_lo_us ~hi:latency_hi_us ~bins:latency_bins
+  in
+  (* The registry histogram shares the instance histogram's shape, so
+     merged exports and instance views bucket identically. *)
+  assert (
+    Stats.Histogram.lo histogram = latency_lo_us
+    && Stats.Histogram.hi histogram = latency_hi_us
+    && Stats.Histogram.bins histogram = latency_bins);
   {
     admits = 0;
     rejects = 0;
     releases = 0;
-    histogram = Stats.Histogram.create ~lo:0.0 ~hi:500.0 ~bins:100;
+    histogram;
     samples = Array.make 1024 0.0;
     n_samples = 0;
+    c_admits = Obs.Registry.Counter.v "cac.engine.admits";
+    c_rejects = Obs.Registry.Counter.v "cac.engine.rejects";
+    c_releases = Obs.Registry.Counter.v "cac.engine.releases";
+    h_latency =
+      Obs.Registry.Histogram.v ~lo:latency_lo_us ~hi:latency_hi_us
+        ~bins:latency_bins "cac.engine.decision_latency_us";
   }
 
 let record_latency t latency =
   let us = latency *. 1e6 in
+  (* Decisions slower than [latency_hi_us] land in the overflow bin of
+     both histograms — they are counted, never dropped. *)
   Stats.Histogram.add t.histogram us;
+  Obs.Registry.Histogram.observe t.h_latency us;
   if t.n_samples = Array.length t.samples then begin
     let grown = Array.make (2 * t.n_samples) 0.0 in
     Array.blit t.samples 0 grown 0 t.n_samples;
@@ -30,13 +70,18 @@ let record_latency t latency =
 
 let record_admit t ~latency =
   t.admits <- t.admits + 1;
+  Obs.Registry.Counter.incr t.c_admits;
   record_latency t latency
 
 let record_reject t ~latency =
   t.rejects <- t.rejects + 1;
+  Obs.Registry.Counter.incr t.c_rejects;
   record_latency t latency
 
-let record_release t = t.releases <- t.releases + 1
+let record_release t =
+  t.releases <- t.releases + 1;
+  Obs.Registry.Counter.incr t.c_releases
+
 let admits t = t.admits
 let rejects t = t.rejects
 let releases t = t.releases
@@ -47,6 +92,7 @@ let blocking_probability t =
   if d = 0 then 0.0 else float_of_int t.rejects /. float_of_int d
 
 let latency_histogram t = t.histogram
+let latency_overflow t = Stats.Histogram.overflow t.histogram
 let latency_samples t = Array.sub t.samples 0 t.n_samples
 
 let latency_mean_us t =
@@ -57,15 +103,17 @@ let latency_ci_us t =
   if t.n_samples < 2 then None
   else Some (Stats.Ci.mean_ci (latency_samples t))
 
-let print ?(label = "cac") t =
-  Printf.printf "%s: %d admits, %d rejects, %d releases (blocking %.4f)\n"
+let print ?sink ?(label = "cac") t =
+  let sink = match sink with Some s -> s | None -> Obs.Sink.human_sink () in
+  Obs.Sink.messagef sink "%s: %d admits, %d rejects, %d releases (blocking %.4f)"
     label t.admits t.rejects t.releases (blocking_probability t);
   if t.n_samples > 0 then begin
     match latency_ci_us t with
     | Some ci ->
-        Printf.printf "%s: decision latency %.2f us (95%% CI +/- %.2f, n = %d)\n"
-          label ci.Stats.Ci.point ci.Stats.Ci.half_width t.n_samples
+        Obs.Sink.messagef sink
+          "%s: decision latency %.2f us (95%% CI +/- %.2f, n = %d)" label
+          ci.Stats.Ci.point ci.Stats.Ci.half_width t.n_samples
     | None ->
-        Printf.printf "%s: decision latency %.2f us (n = %d)\n" label
+        Obs.Sink.messagef sink "%s: decision latency %.2f us (n = %d)" label
           (latency_mean_us t) t.n_samples
   end

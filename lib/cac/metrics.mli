@@ -1,9 +1,13 @@
-(** Operational counters and latency accounting for the CAC engine.
+(** Operational counters and latency accounting for the CAC engine — a
+    per-engine view over the same event stream that feeds the global
+    {!Obs.Registry}.
 
-    Tracks admits, rejects and releases, the derived blocking
-    probability, and the wall-clock latency of every decision — both
-    as a {!Stats.Histogram.t} (fixed microsecond bins) and as raw
-    samples for mean / confidence-interval summaries via
+    Every recorded event goes to two places: the process-wide
+    instruments [cac.engine.{admits,rejects,releases}] and the
+    [cac.engine.decision_latency_us] histogram (the source of truth
+    for {!Obs.Export} — summed over all engines and domains), and this
+    instance's own state, which additionally keeps the raw latency
+    samples needed for mean / confidence-interval summaries via
     {!Stats.Ci}. *)
 
 type t
@@ -27,8 +31,16 @@ val blocking_probability : t -> float
 (** [rejects / decisions]; 0 when no decisions were made. *)
 
 val latency_histogram : t -> Stats.Histogram.t
-(** Decision latency in microseconds, 0–500 us in 100 bins (slower
-    decisions land in the overflow bin). *)
+(** Decision latency in microseconds: 100 equal bins over [0, 500).
+    Decisions slower than 500 us are {e not dropped} — they are
+    tallied in the histogram's overflow bin ({!latency_overflow},
+    included in {!Stats.Histogram.total}); anything below 0 would land
+    in the underflow bin.  The registry histogram
+    [cac.engine.decision_latency_us] uses the identical bin layout, so
+    the merged export buckets agree with this view. *)
+
+val latency_overflow : t -> int
+(** Decisions that took 500 us or longer (the overflow bin). *)
 
 val latency_samples : t -> float array
 (** All recorded decision latencies, microseconds, in arrival order. *)
@@ -39,5 +51,6 @@ val latency_mean_us : t -> float
 val latency_ci_us : t -> Stats.Ci.interval option
 (** 95% Student-t interval on the mean latency (needs >= 2 samples). *)
 
-val print : ?label:string -> t -> unit
-(** Human-readable summary on stdout. *)
+val print : ?sink:Obs.Sink.t -> ?label:string -> t -> unit
+(** Human-readable summary, routed through the given sink (default:
+    the process {!Obs.Sink.human_sink}, so [--quiet] silences it). *)

@@ -46,6 +46,12 @@ let grid ?(capacity = 16140.0) ?(requests = 0) ?(load_factor = 1.1)
     class_names;
   List.rev !scenarios
 
+(* Both instruments are only recorded with a [worker] label, so fix
+   the histogram shape without declaring unlabelled zero series. *)
+let () =
+  Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:2_000_000.0 ~bins:80
+    "cac.sweep.task_us"
+
 let evaluate scenario =
   (* Everything domain-local: fresh class (private variance-growth
      table), fresh engine (private cache). *)
@@ -99,7 +105,21 @@ let evaluate scenario =
     cache_hit_rate;
   }
 
+(* [evaluate] plus per-task telemetry: one [cac.sweep.tasks] tick and a
+   duration observation, labelled by the worker slot (label sets are
+   fixed per worker, so sequential and parallel runs export the same
+   instrument names; only the per-worker split differs). *)
+let evaluate_instrumented ~worker scenario =
+  let labels = Obs.Labels.make [ ("worker", string_of_int worker) ] in
+  let t0 = Obs.Clock.monotonic_ns () in
+  let row = evaluate scenario in
+  Obs.Registry.incr ~labels "cac.sweep.tasks";
+  Obs.Registry.observe ~labels "cac.sweep.task_us"
+    (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
+  row
+
 let run ?domains scenarios =
+  Obs.Span.with_ ~name:"cac.sweep.run" @@ fun () ->
   let scenarios = Array.of_list scenarios in
   let n = Array.length scenarios in
   let domains =
@@ -111,21 +131,25 @@ let run ?domains scenarios =
   in
   let rows = Array.make n None in
   if domains <= 1 then
-    Array.iteri (fun i s -> rows.(i) <- Some (evaluate s)) scenarios
+    Array.iteri
+      (fun i s -> rows.(i) <- Some (evaluate_instrumented ~worker:0 s))
+      scenarios
   else begin
     let next = Atomic.make 0 in
-    let worker () =
+    let worker slot () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          rows.(i) <- Some (evaluate scenarios.(i));
+          rows.(i) <- Some (evaluate_instrumented ~worker:slot scenarios.(i));
           loop ()
         end
       in
       loop ()
     in
-    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned =
+      List.init (domains - 1) (fun slot -> Domain.spawn (worker (slot + 1)))
+    in
+    worker 0 ();
     List.iter Domain.join spawned
   end;
   Array.map (fun r -> Option.get r) rows

@@ -92,6 +92,10 @@ module Heap = struct
     conn
 end
 
+let () =
+  Obs.Registry.declare_counter "cac.workload.runs";
+  Obs.Registry.declare_counter "cac.workload.requests"
+
 let pick_class rng mix =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
   let u = Numerics.Rng.float rng *. total in
@@ -105,6 +109,9 @@ let pick_class rng mix =
   scan 0.0 mix
 
 let run engine ~link s rng =
+  Obs.Span.with_ ~name:"cac.workload.run" @@ fun () ->
+  Obs.Registry.incr "cac.workload.runs";
+  Obs.Registry.incr ~by:s.requests "cac.workload.requests";
   let departures = Heap.create () in
   let admitted = ref 0 and rejected = ref 0 in
   let warmup_boundary = int_of_float (s.warmup *. float_of_int s.requests) in

@@ -7,9 +7,21 @@ type result = {
 let log10_e = log10 (exp 1.0)
 let pi = 4.0 *. atan 1.0
 
+(* Handles, not keyed calls: this path runs per admission decision and
+   per figure point, so the per-call cost must stay at a cached-cell
+   increment. *)
+let c_evaluations = Obs.Registry.Counter.v "bahadur_rao.evaluations"
+
+let h_eval_us =
+  Obs.Registry.Histogram.v ~lo:0.0 ~hi:2000.0 ~bins:100 "bahadur_rao.eval_us"
+
 let evaluate vg ~mu ~c ~b ~n =
   assert (n >= 1);
+  let t0 = Obs.Clock.monotonic_ns () in
   let cts = Cts.analyze vg ~mu ~c ~b in
+  Obs.Registry.Counter.incr c_evaluations;
+  Obs.Registry.Histogram.observe h_eval_us
+    (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
   let nf = float_of_int n in
   let exponent_nats =
     (-.nf *. cts.Cts.rate) -. (0.5 *. log (4.0 *. pi *. nf *. cts.Cts.rate))

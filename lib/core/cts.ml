@@ -1,5 +1,12 @@
 type analysis = { m_star : int; rate : float; scanned_up_to : int }
 
+(* Telemetry: the infimum search behind the Bahadur–Rao rate function
+   is the numeric hot path of the whole admission stack, so its scan
+   lengths and minimisers are exported through the Obs registry. *)
+let c_searches = Obs.Registry.Counter.v "bahadur_rao.infimum_searches"
+let c_iterations = Obs.Registry.Counter.v "bahadur_rao.infimum_iterations"
+let h_m_star = Obs.Registry.Histogram.v ~lo:0.0 ~hi:5000.0 ~bins:50 "cts.m_star"
+
 let objective vg ~mu ~c ~b m =
   assert (m >= 1);
   let drift = b +. (float_of_int m *. (c -. mu)) in
@@ -30,6 +37,11 @@ let analyze ?(margin = 8) vg ~mu ~c ~b =
         current > 2.0 *. best && at > (margin * !argmin_so_far) + 64)
       ()
   in
+  Obs.Registry.Counter.incr c_searches;
+  Obs.Registry.Counter.incr ~by:result.Numerics.Optimize.scanned_up_to
+    c_iterations;
+  Obs.Registry.Histogram.observe h_m_star
+    (float_of_int result.Numerics.Optimize.argmin);
   {
     m_star = result.Numerics.Optimize.argmin;
     rate = result.Numerics.Optimize.minimum;

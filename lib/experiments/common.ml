@@ -100,6 +100,9 @@ let print_figure fig =
               s.points)
           fig.series
 
+let figure_rows fig =
+  List.fold_left (fun acc s -> acc + Array.length s.points) 0 fig.series
+
 let ensure_dir dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
@@ -128,7 +131,13 @@ let save_figure_csv fig =
      raise e);
   close_out oc
 
+let () =
+  Obs.Registry.declare_counter "experiments.figures";
+  Obs.Registry.declare_counter "experiments.rows"
+
 let emit fig =
+  Obs.Registry.incr "experiments.figures";
+  Obs.Registry.incr ~by:(figure_rows fig) "experiments.rows";
   print_figure fig;
   save_figure_csv fig
 

@@ -5,6 +5,22 @@ type entry = {
   run : unit -> unit;
 }
 
+let () =
+  Obs.Registry.declare_counter "experiments.runs";
+  Obs.Registry.declare_counter "experiments.failures"
+
+(* Every experiment runs inside a span named [experiment.<id>], so a
+   trace sink shows per-experiment wall time and the registry grows a
+   [span.experiment.<id>.us] histogram. *)
+let run_entry e =
+  Obs.Span.with_ ~name:("experiment." ^ e.id) (fun () ->
+      Obs.Registry.incr "experiments.runs";
+      match e.run () with
+      | () -> ()
+      | exception exn ->
+          Obs.Registry.incr "experiments.failures";
+          raise exn)
+
 let all =
   [
     {
@@ -125,6 +141,6 @@ let run_all ?(include_simulated = true) ?(quiet = false) () =
       if include_simulated || not e.simulated then begin
         if not quiet then
           Printf.printf "\n######## %s: %s ########\n%!" e.id e.title;
-        e.run ()
+        run_entry e
       end)
     all

@@ -1,0 +1,17 @@
+let wall = Unix.gettimeofday
+
+(* The stdlib exposes no monotonic clock on 5.1, so we derive one from
+   the wall clock, clamped non-decreasing per domain.  Good enough for
+   span durations (microsecond resolution, immune to small backwards
+   steps); a real CLOCK_MONOTONIC binding is an open roadmap item. *)
+let last_ns : int64 Domain.DLS.key = Domain.DLS.new_key (fun () -> 0L)
+
+let monotonic_ns () =
+  let now = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let prev = Domain.DLS.get last_ns in
+  let now = if Int64.compare now prev < 0 then prev else now in
+  Domain.DLS.set last_ns now;
+  now
+
+let elapsed_ns ~since = Int64.sub (monotonic_ns ()) since
+let ns_to_us ns = Int64.to_float ns /. 1e3

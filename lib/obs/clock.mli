@@ -1,0 +1,17 @@
+(** Time sources for the telemetry layer.
+
+    [wall] is the civil timestamp stamped on events.  [monotonic_ns]
+    is a per-domain non-decreasing nanosecond counter used for span
+    durations: derived from the wall clock but clamped so it never
+    runs backwards within a domain. *)
+
+val wall : unit -> float
+(** Seconds since the epoch ([Unix.gettimeofday]). *)
+
+val monotonic_ns : unit -> int64
+(** Nanoseconds, non-decreasing within the calling domain. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [monotonic_ns () - since]. *)
+
+val ns_to_us : int64 -> float

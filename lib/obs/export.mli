@@ -1,0 +1,28 @@
+(** Renderers for registry snapshots. *)
+
+val key_string : Registry.key -> string
+(** ["name"] or ["name{k=\"v\",...}"] — the key format used by the JSON
+    document's object keys. *)
+
+val prometheus : Registry.snapshot -> string
+(** Prometheus text exposition (version 0.0.4): dotted names become
+    underscored, counters gain [_total], histograms expose cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count].  Observations
+    at or above a histogram's upper bound count only towards the
+    [+Inf] bucket. *)
+
+val json : Registry.snapshot -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] keyed
+    by {!key_string}. *)
+
+val json_string : Registry.snapshot -> string
+
+val text : Registry.snapshot -> string
+(** Aligned human-readable summary. *)
+
+type format = Text | Json_doc | Prometheus
+
+val format_of_string : string -> format option
+(** ["text"], ["json"], ["prom"]/["prometheus"]. *)
+
+val render : format -> Registry.snapshot -> string

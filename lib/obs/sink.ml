@@ -1,0 +1,63 @@
+type event = {
+  time : float;
+  kind : string;
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+type t = Null | Text of out_channel | Jsonl of out_channel
+
+let event ?time ~kind ~name fields =
+  let time = match time with Some t -> t | None -> Clock.wall () in
+  { time; kind; name; fields }
+
+let json_of_event e =
+  Json.Obj
+    (("ts", Json.Float e.time)
+    :: ("kind", Json.String e.kind)
+    :: ("name", Json.String e.name)
+    :: e.fields)
+
+let text_of_field (k, v) =
+  Printf.sprintf "%s=%s"
+    k
+    (match v with
+    | Json.String s -> s
+    | Json.Int i -> string_of_int i
+    | Json.Float x -> Printf.sprintf "%g" x
+    | Json.Bool b -> string_of_bool b
+    | Json.Null -> "null"
+    | v -> Json.to_string v)
+
+let emit t e =
+  match t with
+  | Null -> ()
+  | Text oc ->
+      Printf.fprintf oc "[%s] %s %s\n%!" e.kind e.name
+        (String.concat " " (List.map text_of_field e.fields))
+  | Jsonl oc ->
+      output_string oc (Json.to_string (json_of_event e));
+      output_char oc '\n';
+      flush oc
+
+let message t line =
+  match t with
+  | Null -> ()
+  | Text oc ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+  | Jsonl oc ->
+      output_string oc
+        (Json.to_string (json_of_event (event ~kind:"message" ~name:"message"
+                                          [ ("text", Json.String line) ])));
+      output_char oc '\n';
+      flush oc
+
+let messagef t fmt = Printf.ksprintf (message t) fmt
+
+(* The process-wide sink for human-readable operational summaries
+   (engine metric reports and the like).  [--quiet] swaps in [Null]. *)
+let human = ref (Text stdout)
+let set_human t = human := t
+let human_sink () = !human

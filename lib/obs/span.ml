@@ -1,0 +1,83 @@
+type frame = {
+  id : string;
+  name : string;
+  parent : string option;
+  depth : int;
+  start_wall : float;
+  start_mono : int64;
+}
+
+(* Per-domain span stack and id sequence; ids are "d<domain>:<seq>" so
+   traces from parallel sweeps interleave without colliding. *)
+let stack : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let seq : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let trace_sink = Atomic.make Sink.Null
+let set_trace_sink s = Atomic.set trace_sink s
+let current_trace_sink () = Atomic.get trace_sink
+
+let current_depth () = List.length !(Domain.DLS.get stack)
+let current () = match !(Domain.DLS.get stack) with [] -> None | f :: _ -> Some f
+let current_name () = Option.map (fun f -> f.name) (current ())
+
+let duration_histogram_bins = (0.0, 1_000_000.0, 60)
+(* span durations: 0–1 s in µs, 60 bins; slower spans overflow. *)
+
+let enter name =
+  let st = Domain.DLS.get stack in
+  let sq = Domain.DLS.get seq in
+  incr sq;
+  let parent, depth =
+    match !st with [] -> (None, 0) | p :: _ -> (Some p.id, p.depth + 1)
+  in
+  let frame =
+    {
+      id = Printf.sprintf "d%d:%d" (Domain.self () :> int) !sq;
+      name;
+      parent;
+      depth;
+      start_wall = Clock.wall ();
+      start_mono = Clock.monotonic_ns ();
+    }
+  in
+  st := frame :: !st;
+  frame
+
+let exit_ frame ~ok =
+  let st = Domain.DLS.get stack in
+  (match !st with
+  | top :: rest when top == frame -> st := rest
+  | _ ->
+      (* Unbalanced exit (an inner span escaped): just remove the frame. *)
+      st := List.filter (fun f -> not (f == frame)) !st);
+  let dur_us = Clock.ns_to_us (Clock.elapsed_ns ~since:frame.start_mono) in
+  let wall_dur = Clock.wall () -. frame.start_wall in
+  let lo, hi, bins = duration_histogram_bins in
+  Registry.declare_histogram ~lo ~hi ~bins ("span." ^ frame.name ^ ".us");
+  Registry.observe ("span." ^ frame.name ^ ".us") dur_us;
+  match Atomic.get trace_sink with
+  | Sink.Null -> ()
+  | sink ->
+      Sink.emit sink
+        (Sink.event ~time:frame.start_wall ~kind:"span" ~name:frame.name
+           [
+             ("id", Json.String frame.id);
+             ( "parent",
+               match frame.parent with
+               | Some p -> Json.String p
+               | None -> Json.Null );
+             ("depth", Json.Int frame.depth);
+             ("dur_us", Json.Float dur_us);
+             ("wall_dur_s", Json.Float wall_dur);
+             ("ok", Json.Bool ok);
+           ])
+
+let with_ ~name fn =
+  let frame = enter name in
+  match fn () with
+  | v ->
+      exit_ frame ~ok:true;
+      v
+  | exception e ->
+      exit_ frame ~ok:false;
+      raise e

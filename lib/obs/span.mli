@@ -1,0 +1,26 @@
+(** Nested span tracing.
+
+    [with_ ~name fn] times [fn ()] (monotonic for the duration, wall
+    clock for the timestamp), maintains a per-domain parent/child
+    stack, feeds the duration into the registry histogram
+    [span.<name>.us] (0–1 s range in microseconds, 60 bins), and — when
+    a trace sink is installed — emits one completion event per span
+    carrying its id, parent id, nesting depth and durations.
+
+    With the default [Null] trace sink the cost is two clock reads and
+    one histogram update per span. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Exceptions propagate; the span is closed (with [ok=false]) first. *)
+
+val set_trace_sink : Sink.t -> unit
+(** Install the destination for span-completion events (default
+    [Null]).  Shared by all domains. *)
+
+val current_trace_sink : unit -> Sink.t
+
+val current_depth : unit -> int
+(** Number of open spans on the calling domain's stack. *)
+
+val current_name : unit -> string option
+(** Name of the innermost open span, if any. *)

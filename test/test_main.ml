@@ -26,6 +26,7 @@ let () =
       ("ascii_plot", Test_ascii_plot.suite);
       ("shaper", Test_shaper.suite);
       ("misc", Test_misc.suite);
+      ("obs", Test_obs.suite);
       ("cac", Test_cac.suite);
       ("experiments", Test_experiments.suite);
     ]

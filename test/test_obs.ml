@@ -1,0 +1,329 @@
+open Helpers
+
+(* The registry is process-global and other suites tick instruments
+   through the modules they exercise, so every test here uses names
+   under "test." that nothing else touches. *)
+
+(* {2 Counters} *)
+
+let test_counter_monotonic () =
+  let c = Obs.Registry.Counter.v "test.obs.mono" in
+  Obs.Registry.Counter.incr c;
+  Obs.Registry.Counter.incr ~by:41 c;
+  check_int "handle increments accumulate" 42
+    (Obs.Registry.counter_value "test.obs.mono");
+  (match Obs.Registry.Counter.incr ~by:(-1) c with
+  | () -> Alcotest.fail "negative by accepted by handle"
+  | exception Invalid_argument _ -> ());
+  (match Obs.Registry.incr ~by:(-5) "test.obs.mono" with
+  | () -> Alcotest.fail "negative by accepted by keyed incr"
+  | exception Invalid_argument _ -> ());
+  check_int "rejected updates left no trace" 42
+    (Obs.Registry.counter_value "test.obs.mono")
+
+let test_counter_labels_merge () =
+  let labels = Obs.Labels.make [ ("k", "a") ] in
+  let labels' = Obs.Labels.make [ ("k", "b") ] in
+  Obs.Registry.incr ~labels ~by:3 "test.obs.labelled";
+  Obs.Registry.incr ~labels:labels' ~by:4 "test.obs.labelled";
+  check_int "label sets are distinct series" 3
+    (Obs.Registry.counter_value ~labels "test.obs.labelled");
+  check_int "label sets are distinct series" 4
+    (Obs.Registry.counter_value ~labels:labels' "test.obs.labelled");
+  check_int "unlabelled series untouched" 0
+    (Obs.Registry.counter_value "test.obs.labelled")
+
+let test_declared_zero_in_snapshot () =
+  Obs.Registry.declare_counter "test.obs.declared_only";
+  let snap = Obs.Registry.snapshot () in
+  check_true "declared counter exports as zero"
+    (List.assoc_opt ("test.obs.declared_only", Obs.Labels.empty) snap.counters
+    = Some 0)
+
+(* {2 Histogram merging across domains} *)
+
+(* The merged view must equal a sequential run: bin-wise merging is
+   associative and commutative, so totals are independent of which
+   domain observed what. *)
+let test_histogram_domain_merge () =
+  Obs.Registry.declare_histogram ~lo:0.0 ~hi:100.0 ~bins:10
+    "test.obs.sharded";
+  let observe_range lo_i =
+    for i = lo_i to lo_i + 49 do
+      Obs.Registry.observe "test.obs.sharded"
+        (float_of_int (i mod 120))
+    done
+  in
+  let domains =
+    List.map (fun k -> Domain.spawn (fun () -> observe_range (50 * k))) [ 1; 2; 3 ]
+  in
+  observe_range 0;
+  List.iter Domain.join domains;
+  match Obs.Registry.histogram_snapshot "test.obs.sharded" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some merged ->
+      check_int "every observation counted" 200 merged.count;
+      (* Sequential reference on a plain Stats histogram. *)
+      let ref_h = Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~bins:10 in
+      let ref_sum = ref 0.0 in
+      List.iter
+        (fun lo_i ->
+          for i = lo_i to lo_i + 49 do
+            let x = float_of_int (i mod 120) in
+            Stats.Histogram.add ref_h x;
+            ref_sum := !ref_sum +. x
+          done)
+        [ 50; 100; 150; 0 ];
+      Array.iteri
+        (fun i c ->
+          check_int (Printf.sprintf "bin %d matches sequential run" i) c
+            merged.counts.(i))
+        (Stats.Histogram.counts ref_h);
+      check_int "overflow matches" (Stats.Histogram.overflow ref_h)
+        merged.overflow;
+      check_close ~tol:1e-6 "sum matches" !ref_sum merged.sum
+
+let test_stats_merge_associative () =
+  let mk obs =
+    let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+    List.iter (Stats.Histogram.add h) obs;
+    h
+  in
+  let a () = mk [ 0.5; 3.0; 9.9 ]
+  and b () = mk [ -1.0; 4.2; 4.3 ]
+  and c () = mk [ 11.0; 0.1 ] in
+  let left = Stats.Histogram.merge (Stats.Histogram.merge (a ()) (b ())) (c ())
+  and right =
+    Stats.Histogram.merge (a ()) (Stats.Histogram.merge (b ()) (c ()))
+  in
+  check_true "merge associative (bin counts)"
+    (Stats.Histogram.counts left = Stats.Histogram.counts right);
+  check_int "merge associative (underflow)"
+    (Stats.Histogram.underflow left)
+    (Stats.Histogram.underflow right);
+  check_int "merge associative (overflow)"
+    (Stats.Histogram.overflow left)
+    (Stats.Histogram.overflow right)
+
+let test_handle_shared_across_domains () =
+  (* One module-style handle used by four domains: each domain updates
+     its own shard's cell, so nothing is lost in the merge. *)
+  let c = Obs.Registry.Counter.v "test.obs.shared_handle" in
+  let h =
+    Obs.Registry.Histogram.v ~lo:0.0 ~hi:10.0 ~bins:5 "test.obs.shared_hist"
+  in
+  let work () =
+    for i = 1 to 500 do
+      Obs.Registry.Counter.incr c;
+      Obs.Registry.Histogram.observe h (float_of_int (i mod 10))
+    done
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join domains;
+  check_int "no increment lost across domains" 2000
+    (Obs.Registry.counter_value "test.obs.shared_handle");
+  match Obs.Registry.histogram_snapshot "test.obs.shared_hist" with
+  | Some s -> check_int "no observation lost across domains" 2000 s.count
+  | None -> Alcotest.fail "shared histogram missing"
+
+(* {2 Spans} *)
+
+let test_span_nesting () =
+  check_int "no open span initially" 0 (Obs.Span.current_depth ());
+  let seen = ref [] in
+  Obs.Span.with_ ~name:"test.outer" (fun () ->
+      seen := (Obs.Span.current_depth (), Obs.Span.current_name ()) :: !seen;
+      Obs.Span.with_ ~name:"test.inner" (fun () ->
+          seen := (Obs.Span.current_depth (), Obs.Span.current_name ()) :: !seen));
+  check_int "stack drained" 0 (Obs.Span.current_depth ());
+  (match !seen with
+  | [ (2, Some "test.inner"); (1, Some "test.outer") ] -> ()
+  | _ -> Alcotest.fail "span stack did not nest as outer > inner");
+  match Obs.Registry.histogram_snapshot "span.test.outer.us" with
+  | Some s -> check_true "outer span recorded a duration" (s.count >= 1)
+  | None -> Alcotest.fail "span histogram missing"
+
+let test_span_exception_closes () =
+  (match
+     Obs.Span.with_ ~name:"test.raising" (fun () -> failwith "boom")
+   with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  check_int "span closed on exception" 0 (Obs.Span.current_depth ())
+
+let with_temp_jsonl f =
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      f (Obs.Sink.Jsonl oc);
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ());
+          List.rev !lines))
+
+let test_span_trace_events () =
+  let lines =
+    with_temp_jsonl (fun sink ->
+        Obs.Span.set_trace_sink sink;
+        Fun.protect
+          ~finally:(fun () -> Obs.Span.set_trace_sink Obs.Sink.Null)
+          (fun () ->
+            Obs.Span.with_ ~name:"test.traced_outer" (fun () ->
+                Obs.Span.with_ ~name:"test.traced_inner" ignore)))
+  in
+  check_int "one event per span" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs.Json.of_string line with
+        | Some j -> j
+        | None -> Alcotest.failf "unparseable trace line: %s" line)
+      lines
+  in
+  let field name j =
+    match Obs.Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "trace event missing %S" name
+  in
+  (* Inner completes first; its parent id is the outer's id. *)
+  match parsed with
+  | [ inner; outer ] ->
+      check_true "inner named" (field "name" inner = String "test.traced_inner");
+      check_true "outer named" (field "name" outer = String "test.traced_outer");
+      check_true "outer is a root span" (field "parent" outer = Null);
+      check_true "inner's parent is outer"
+        (field "parent" inner = field "id" outer);
+      check_true "depths recorded"
+        (field "depth" inner = Int 1 && field "depth" outer = Int 0);
+      check_true "both spans ok"
+        (field "ok" inner = Bool true && field "ok" outer = Bool true)
+  | _ -> Alcotest.fail "expected exactly two parsed events"
+
+(* {2 JSON round-trip} *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "with \"quotes\" and \\ and \n newline");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5e-3);
+        ("b", Obs.Json.Bool false);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float 0.25 ]);
+        ("o", Obs.Json.Obj [ ("nested", Obs.Json.Bool true) ]);
+      ]
+  in
+  match Obs.Json.of_string (Obs.Json.to_string doc) with
+  | Some parsed -> check_true "round-trips structurally" (parsed = doc)
+  | None -> Alcotest.fail "encoder output did not parse"
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      check_true
+        (Printf.sprintf "rejects %S" s)
+        (Obs.Json.of_string s = None))
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
+
+let test_jsonl_message_roundtrip () =
+  let lines =
+    with_temp_jsonl (fun sink -> Obs.Sink.message sink "hello from the sink")
+  in
+  match lines with
+  | [ line ] -> (
+      match Obs.Json.of_string line with
+      | Some j ->
+          check_true "message preserved"
+            (Obs.Json.member "text" j = Some (String "hello from the sink"));
+          check_true "kind is message"
+            (Obs.Json.member "kind" j = Some (String "message"))
+      | None -> Alcotest.failf "unparseable message line: %s" line)
+  | _ -> Alcotest.fail "expected one JSON line"
+
+(* {2 Prometheus exposition} *)
+
+let test_prometheus_golden () =
+  (* A hand-built snapshot keeps the golden text independent of the
+     global registry's contents. *)
+  let labels = Obs.Labels.make [ ("link", "l0") ] in
+  let snap =
+    {
+      Obs.Registry.counters =
+        [ (("test.hits", Obs.Labels.empty), 7); (("test.hits", labels), 2) ];
+      gauges = [ (("test.load", Obs.Labels.empty), 0.5) ];
+      histograms =
+        [
+          ( ("test.lat.us", Obs.Labels.empty),
+            {
+              Obs.Registry.hlo = 0.0;
+              hhi = 30.0;
+              counts = [| 2; 1; 0 |];
+              underflow = 0;
+              overflow = 1;
+              sum = 48.0;
+              count = 4;
+            } );
+        ];
+    }
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE test_hits_total counter";
+        "test_hits_total 7";
+        "test_hits_total{link=\"l0\"} 2";
+        "# TYPE test_load gauge";
+        "test_load 0.5";
+        "# TYPE test_lat_us histogram";
+        "test_lat_us_bucket{le=\"10\"} 2";
+        "test_lat_us_bucket{le=\"20\"} 3";
+        "test_lat_us_bucket{le=\"30\"} 3";
+        "test_lat_us_bucket{le=\"+Inf\"} 4";
+        "test_lat_us_sum 48";
+        "test_lat_us_count 4";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exposition matches" expected
+    (Obs.Export.prometheus snap)
+
+let test_export_json_keys () =
+  Obs.Registry.incr ~by:5 "test.obs.export_key";
+  let doc = Obs.Export.json (Obs.Registry.snapshot ()) in
+  match Obs.Json.member "counters" doc with
+  | Some counters ->
+      check_true "counter exported under dotted name"
+        (Obs.Json.member "test.obs.export_key" counters = Some (Int 5))
+  | None -> Alcotest.fail "no counters object in JSON export"
+
+let suite =
+  [
+    case "counter: monotonic, rejects negative" test_counter_monotonic;
+    case "counter: labelled series are distinct" test_counter_labels_merge;
+    case "declared counter exports as zero" test_declared_zero_in_snapshot;
+    case "histogram: domain shards merge = sequential" test_histogram_domain_merge;
+    case "handles shared across domains" test_handle_shared_across_domains;
+    case "histogram: merge is associative" test_stats_merge_associative;
+    case "span: nesting depth and names" test_span_nesting;
+    case "span: closed on exception" test_span_exception_closes;
+    case "span: JSON-lines trace events" test_span_trace_events;
+    case "json: encode/parse round-trip" test_json_roundtrip;
+    case "json: rejects malformed input" test_json_rejects_garbage;
+    case "sink: jsonl message round-trip" test_jsonl_message_roundtrip;
+    case "prometheus: golden exposition" test_prometheus_golden;
+    case "export: json document keys" test_export_json_keys;
+  ]
