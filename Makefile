@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI workflow.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check lint lint-report bench clean
 
 all: build
 
@@ -9,6 +9,17 @@ build:
 
 test:
 	dune runtest
+
+# Project static analysis (ctslint): numeric safety and
+# Domain-parallelism rules over lib/, bin/ and bench/.
+# See docs/static-analysis.md.
+lint:
+	dune build @lint
+
+# Same, but also leave a machine-readable report in ctslint-report.json.
+lint-report:
+	dune exec tools/ctslint/ctslint.exe -- --config .ctslint \
+	  --json ctslint-report.json lib bin bench
 
 # Tier-1 verification: what CI runs on every PR.
 check:

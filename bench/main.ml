@@ -45,11 +45,11 @@ let report_cac_speedup () =
   let cached, z_cached = cac_engine ~cache_capacity:4096 in
   let uncached, z_uncached = cac_engine ~cache_capacity:0 in
   let mean_time iters f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.wall () in
     for _ = 1 to iters do
       ignore (f ())
     done;
-    1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int iters
+    1e6 *. (Obs.Clock.wall () -. t0) /. float_of_int iters
   in
   let cached_us =
     mean_time 20_000 (fun () ->
@@ -222,12 +222,12 @@ let () =
   Printf.printf "scale: CTS_FRAMES=%d CTS_REPS=%d CTS_SEED=%d\n%!"
     (Experiments.Common.frames ()) (Experiments.Common.reps ())
     (Experiments.Common.seed ());
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.wall () in
   if env_flag "CTS_BENCH_ANALYTIC_ONLY" then
     Experiments.Registry.run_all ~include_simulated:false ()
   else Experiments.Registry.run_all ();
   Printf.printf "\nexperiments completed in %.1f s\n%!"
-    (Unix.gettimeofday () -. t0);
+    (Obs.Clock.wall () -. t0);
   if not (env_flag "CTS_BENCH_NO_MICRO") then begin
     let results = run_micro () in
     report_cac_speedup ();

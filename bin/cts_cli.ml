@@ -433,9 +433,9 @@ let cac_decide_cmd =
                 existing )
         else begin
           let time f =
-            let t0 = Unix.gettimeofday () in
+            let t0 = Obs.Clock.wall () in
             let v = f () in
-            (v, 1e6 *. (Unix.gettimeofday () -. t0))
+            (v, 1e6 *. (Obs.Clock.wall () -. t0))
           in
           let verdict, cold_us =
             time (fun () -> Cac.Engine.evaluate engine ~link:"link" ~cls)
@@ -535,12 +535,12 @@ let cac_replay_cmd =
             ()
         in
         let engine = make_engine () in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.wall () in
         let result =
           Cac.Workload.run engine ~link:"link" spec
             (Numerics.Rng.create ~seed)
         in
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let elapsed = Obs.Clock.wall () -. t0 in
         Printf.printf
           "replayed %d connection attempts (%.2f Erlangs offered) in %.2f s\n"
           result.Cac.Workload.offered
@@ -623,9 +623,9 @@ let cac_sweep_cmd =
         Cac.Sweep.grid ~capacity ~requests ~seed ~class_names ~buffers_msec
           ~target_clrs ()
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.wall () in
       let rows = Cac.Sweep.run ?domains scenarios in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Obs.Clock.wall () -. t0 in
       Cac.Sweep.print_table rows;
       Printf.printf "%d scenarios in %.2f s\n" (Array.length rows) elapsed;
       if not check then `Ok ()

@@ -30,7 +30,7 @@ type verdict = {
   required_bw : float option;
 }
 
-let create ?(cache_capacity = 4096) ?(clock = Unix.gettimeofday) () =
+let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) () =
   {
     links = Hashtbl.create 8;
     link_telemetry = Hashtbl.create 8;
@@ -70,7 +70,7 @@ let link t id =
 
 let links t =
   Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
-  |> List.sort (fun a b -> compare (Link.id a) (Link.id b))
+  |> List.sort (fun a b -> String.compare (Link.id a) (Link.id b))
 
 let link_telemetry t id = Hashtbl.find_opt t.link_telemetry id
 

@@ -27,7 +27,7 @@ let count t ~cls =
 let counts t =
   Hashtbl.fold (fun _ (cls, n) acc -> (cls, n) :: acc) t.by_class []
   |> List.sort (fun (a, _) (b, _) ->
-         compare a.Source_class.name b.Source_class.name)
+         String.compare a.Source_class.name b.Source_class.name)
 
 let connections t = t.total
 

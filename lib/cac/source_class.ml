@@ -35,12 +35,15 @@ let fresh name =
     (fun process -> { (of_process process) with name })
     (process_of_name name)
 
-(* The shared registry: one variance-growth table per class per
-   domain's lifetime.  Safe only because engines within a domain run
-   sequentially. *)
-let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+(* The class memo: one variance-growth table per class per domain.
+   Domain-local (each domain lazily rebuilds its own table) so
+   Domain-parallel sweeps never share an unsynchronized Hashtbl —
+   lint rule C1 exists to keep it that way. *)
+let registry_key : (string, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let of_name name =
+  let registry = Domain.DLS.get registry_key in
   let name = String.lowercase_ascii name in
   match Hashtbl.find_opt registry name with
   | Some cls -> Some cls

@@ -6,11 +6,13 @@
     The class [name] is the stable identifier used in decision-cache
     keys and CLI arguments.
 
-    [of_name] resolves through a process-wide registry, sharing the
-    variance-growth table across engines in the same domain.  [fresh]
-    bypasses the registry: variance-growth tables mutate internally on
-    evaluation, so code that fans work across OCaml domains (see
-    {!Sweep}) must build a private instance per domain. *)
+    [of_name] resolves through a domain-local registry (one memo table
+    per OCaml domain), sharing the variance-growth table across
+    engines in the same domain without any cross-domain
+    synchronization.  [fresh] bypasses the registry entirely:
+    variance-growth tables mutate internally on evaluation, so code
+    that hands a class to another domain (see {!Sweep}) must build a
+    private instance per domain. *)
 
 type t = {
   name : string;
@@ -23,8 +25,8 @@ val names : string list
     dar3, mpeg. *)
 
 val of_name : string -> t option
-(** Resolve a name through the shared registry (case-insensitive).
-    [None] for unknown names. *)
+(** Resolve a name through the calling domain's registry
+    (case-insensitive).  [None] for unknown names. *)
 
 val of_name_exn : string -> t
 (** Like {!of_name}, raising [Invalid_argument] on unknown names. *)

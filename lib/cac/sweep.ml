@@ -155,12 +155,12 @@ let run ?domains scenarios =
   Array.map (fun r -> Option.get r) rows
 
 let print_table rows =
-  Printf.printf "%-8s %10s %8s %8s %6s %8s %9s %8s\n" "class" "buf_msec"
+  Obs.Sink.printf "%-8s %10s %8s %8s %6s %8s %9s %8s\n" "class" "buf_msec"
     "clr" "n_max" "util" "eff_bw" "blocking" "hit%";
   Array.iter
     (fun row ->
       let s = row.scenario in
-      Printf.printf "%-8s %10g %8.0e %8d %5.1f%% %8.1f %9s %8s\n" s.class_name
+      Obs.Sink.printf "%-8s %10g %8.0e %8d %5.1f%% %8.1f %9s %8s\n" s.class_name
         s.buffer_msec s.target_clr row.n_max
         (100.0 *. row.utilization)
         row.eff_bw

@@ -1,4 +1,5 @@
 let bop_ok vg ~mu ~total_capacity ~total_buffer ~target_clr ~n =
+  assert (n >= 1 && target_clr > 0.0);
   let c = total_capacity /. float_of_int n in
   if c <= mu then false
   else begin
@@ -41,7 +42,7 @@ let required_capacity vg ~mu ~n ~total_buffer ~target_clr =
     if ok capacity then capacity else upper (capacity *. 2.0)
   in
   let hi = upper (mean_load *. 1.01) in
-  let lo = if hi = mean_load *. 1.01 then mean_load else hi /. 2.0 in
+  let lo = if Float.equal hi (mean_load *. 1.01) then mean_load else hi /. 2.0 in
   (* Bisection to 0.01 cells/frame on the total capacity. *)
   let rec bisect lo hi =
     if hi -. lo <= 0.01 then hi
@@ -53,4 +54,5 @@ let required_capacity vg ~mu ~n ~total_buffer ~target_clr =
   bisect lo hi
 
 let effective_bandwidth_per_source vg ~mu ~n ~total_buffer ~target_clr =
+  assert (n >= 1);
   required_capacity vg ~mu ~n ~total_buffer ~target_clr /. float_of_int n

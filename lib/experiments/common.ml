@@ -54,49 +54,54 @@ let series_ci ~label points =
     ci_half_width = Some (Array.map (fun (_, ci) -> ci.Stats.Ci.half_width) points);
   }
 
+(* All experiment text goes through the process-wide human sink so
+   [--quiet] silences it and a Jsonl sink captures it; lint rule H1
+   keeps stdout printers out of library code. *)
+let printf fmt = Obs.Sink.printf fmt
+
 let format_value v =
-  if v = neg_infinity then "-inf"
-  else if v = infinity then "+inf"
-  else if Float.is_nan v then "nan"
-  else if Float.abs v >= 1e6 || (Float.abs v < 1e-4 && v <> 0.0) then
-    Printf.sprintf "%.4e" v
-  else Printf.sprintf "%.4f" v
+  match Float.classify_float v with
+  | Float.FP_infinite -> if v > 0.0 then "+inf" else "-inf"
+  | Float.FP_nan -> "nan"
+  | _ when Float.abs v >= 1e6 || (Float.abs v < 1e-4 && not (Float.equal v 0.0))
+    ->
+      Printf.sprintf "%.4e" v
+  | _ -> Printf.sprintf "%.4f" v
 
 let print_figure fig =
-  Printf.printf "\n== %s: %s ==\n" fig.id fig.title;
+  printf "\n== %s: %s ==\n" fig.id fig.title;
   match fig.series with
-  | [] -> Printf.printf "(empty figure)\n"
+  | [] -> printf "(empty figure)\n"
   | first :: _ ->
       let xs = Array.map fst first.points in
       let aligned =
         List.for_all
           (fun s ->
             Array.length s.points = Array.length xs
-            && Array.for_all2 (fun (x, _) x' -> x = x') s.points xs)
+            && Array.for_all2 (fun (x, _) x' -> Float.equal x x') s.points xs)
           fig.series
       in
       if aligned then begin
         let width = 14 in
-        Printf.printf "%-12s" fig.xlabel;
-        List.iter (fun s -> Printf.printf " %*s" width s.label) fig.series;
-        print_newline ();
+        printf "%-12s" fig.xlabel;
+        List.iter (fun s -> printf " %*s" width s.label) fig.series;
+        printf "\n";
         Array.iteri
           (fun i x ->
-            Printf.printf "%-12s" (format_value x);
+            printf "%-12s" (format_value x);
             List.iter
-              (fun s -> Printf.printf " %*s" width (format_value (snd s.points.(i))))
+              (fun s -> printf " %*s" width (format_value (snd s.points.(i))))
               fig.series;
-            print_newline ())
+            printf "\n")
           xs;
-        Printf.printf "(y: %s)\n" fig.ylabel
+        printf "(y: %s)\n" fig.ylabel
       end
       else
         List.iter
           (fun s ->
-            Printf.printf "-- %s --\n" s.label;
+            printf "-- %s --\n" s.label;
             Array.iter
-              (fun (x, y) ->
-                Printf.printf "  %s  %s\n" (format_value x) (format_value y))
+              (fun (x, y) -> printf "  %s  %s\n" (format_value x) (format_value y))
               s.points)
           fig.series
 

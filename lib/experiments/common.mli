@@ -61,6 +61,12 @@ type figure = {
 val series : label:string -> (float * float) array -> series
 val series_ci : label:string -> (float * Stats.Ci.interval) array -> series
 
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** Formatted experiment output via {!Obs.Sink.printf} (the human
+    sink): respects [--quiet], never touches stdout directly.
+    Experiment modules must use this instead of [Printf.printf]
+    (lint rule H1). *)
+
 val print_figure : figure -> unit
 (** Aligned table on stdout: one row per x value, one column per
     series (series must share their x grid, which all of ours do). *)

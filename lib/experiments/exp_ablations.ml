@@ -136,9 +136,9 @@ let figure_marginal () =
 let run () =
   Ascii_plot.emit (figure_weibull ());
   Ascii_plot.emit (figure_cts_closed_form ());
-  Printf.printf "\n== ablation_fluid_vs_cell: fluid vs exact cell-level CLR ==\n";
-  Printf.printf "%-12s %-14s %-14s\n" "buffer msec" "fluid CLR" "cell CLR";
+  Common.printf "\n== ablation_fluid_vs_cell: fluid vs exact cell-level CLR ==\n";
+  Common.printf "%-12s %-14s %-14s\n" "buffer msec" "fluid CLR" "cell CLR";
   Array.iter
-    (fun (b, f, c) -> Printf.printf "%-12g %-14.3e %-14.3e\n" b f c)
+    (fun (b, f, c) -> Common.printf "%-12g %-14.3e %-14.3e\n" b f c)
     (fluid_vs_cell ());
   Ascii_plot.emit (figure_marginal ())

@@ -57,7 +57,7 @@ let run () =
   List.iter
     (fun target_clr ->
       Ascii_plot.emit (figure ~target_clr);
-      Printf.printf
+      Common.printf
         "largest DAR(p) vs Z^0.975 admission gap at CLR %g: %d connections\n"
         target_clr
         (max_count_gap ~target_clr))

@@ -45,7 +45,7 @@ let figure rows =
 let run () =
   let rows = rows () in
   Ascii_plot.emit (figure rows);
-  Printf.printf
+  Common.printf
     "\ncapacity-planning sweep (replayed %d connection attempts per cell):\n"
     (requests ());
   Cac.Sweep.print_table rows;
@@ -62,7 +62,7 @@ let run () =
   in
   List.iter
     (fun buffer ->
-      Printf.printf
+      Common.printf
         "buffer %2g msec: Z^0.975 admits %d, DAR(3) %d (gap %d), L %d\n" buffer
         (n_at "z0.975" buffer) (n_at "dar3" buffer)
         (abs ((n_at "z0.975" buffer) - n_at "dar3" buffer))

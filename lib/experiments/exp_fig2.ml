@@ -67,12 +67,12 @@ let run () =
   let fig = figure () in
   (* The raw paths are long; print the summaries, save the full CSV. *)
   Common.save_figure_csv fig;
-  Printf.printf "\n== fig2: %s (paths in %s/fig2.csv) ==\n" fig.Common.title
+  Common.printf "\n== fig2: %s (paths in %s/fig2.csv) ==\n" fig.Common.title
     (Common.results_dir ());
-  Printf.printf "%-14s %-10s %-9s %-9s %-9s\n" "path" "mean" "std" "H(R/S)"
+  Common.printf "%-14s %-10s %-9s %-9s %-9s\n" "path" "mean" "std" "H(R/S)"
     "H(var)";
   List.iter
     (fun s ->
-      Printf.printf "%-14s %-10.1f %-9.1f %-9.3f %-9.3f\n" s.label s.mean s.std
+      Common.printf "%-14s %-10.1f %-9.1f %-9.3f %-9.3f\n" s.label s.mean s.std
         s.hurst_rs s.hurst_var)
     (summaries ())

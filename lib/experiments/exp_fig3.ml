@@ -1,10 +1,12 @@
-let short_lags = Array.init 20 (fun i -> i + 1)
+(* C1 waiver: constant lag grid, written once here and never
+   mutated. *)
+let[@lint.allow "C1"] short_lags = Array.init 20 (fun i -> i + 1)
 
 let long_lags =
   (* log-spaced 1 .. 1000, deduplicated after rounding *)
   Numerics.Float_array.logspace ~lo:1.0 ~hi:1000.0 ~n:25
   |> Array.map (fun x -> int_of_float (Float.round x))
-  |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+  |> Array.to_list |> List.sort_uniq Int.compare |> Array.of_list
 
 let figure_a () =
   {

@@ -61,10 +61,10 @@ let run () =
         (fun p ->
           match crossover_msec ~a ~p with
           | Some b ->
-              Printf.printf
+              Common.printf
                 "crossover: L beats DAR(%d) for Z^%g from B ~ %.0f msec\n" p a b
           | None ->
-              Printf.printf
+              Common.printf
                 "crossover: L never beats DAR(%d) for Z^%g on this grid\n" p a)
         [ 1; 2; 3 ])
     [ 0.975; 0.7 ]

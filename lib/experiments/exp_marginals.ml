@@ -45,7 +45,7 @@ let figure_cts_invariance () =
 let run () =
   Ascii_plot.emit (figure_clr ());
   Ascii_plot.emit (figure_cts_invariance ());
-  Printf.printf
+  Common.printf
     "\nWith moments and correlations pinned, the marginals agree to a\n\
      fraction of a decade where losses are well observed (small buffers)\n\
      and stay within about one decade out where the estimates run out of\n\

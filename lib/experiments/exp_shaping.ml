@@ -49,7 +49,7 @@ let figure_fixed_budget () =
 
 let run () =
   Ascii_plot.emit (figure_fixed_budget ());
-  Printf.printf
+  Common.printf
     "\nEvery point spends the same 200 msec end-to-end: window w costs\n\
      (w-1) x 40 msec of source shaping delay and the remainder is split\n\
      into three per-hop buffers.  Whether shaping pays depends on the\n\

@@ -63,19 +63,19 @@ let lrd_power_ignored ~a ~buffer_msec =
 let run () =
   Ascii_plot.emit ~logx:true (figure_psd ());
   Ascii_plot.emit (figure_cutoff ());
-  Printf.printf
+  Common.printf
     "\nSpectral mass below the cutoff (ignored by the loss estimate):\n";
   List.iter
     (fun buffer_msec ->
-      Printf.printf "  B = %5.1f msec:" buffer_msec;
+      Common.printf "  B = %5.1f msec:" buffer_msec;
       List.iter
         (fun a ->
-          Printf.printf "  Z^%g: %4.1f%%" a
+          Common.printf "  Z^%g: %4.1f%%" a
             (100.0 *. lrd_power_ignored ~a ~buffer_msec))
         [ 0.7; 0.975 ];
-      print_newline ())
+      Common.printf "\n")
     [ 2.0; 10.0; 30.0 ];
-  Printf.printf
+  Common.printf
     "A large share of the variance - all of it low-frequency, i.e. the\n\
      LRD part - sits below w_c even at 30 msec: the CTS theorem in\n\
      frequency-domain clothing.\n"

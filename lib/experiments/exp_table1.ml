@@ -72,21 +72,21 @@ let dar_fits () =
 let opt_fmt fmt = function None -> "-" | Some x -> Printf.sprintf fmt x
 
 let run () =
-  Printf.printf "\n== table1: Model parameters (derived, cf. paper Table 1) ==\n";
-  Printf.printf "%-8s %-6s %-6s %-28s %-10s %-9s %-3s\n" "model" "v" "alpha" "a"
+  Common.printf "\n== table1: Model parameters (derived, cf. paper Table 1) ==\n";
+  Common.printf "%-8s %-6s %-6s %-28s %-10s %-9s %-3s\n" "model" "v" "alpha" "a"
     "lambda" "T0(msec)" "M";
   List.iter
     (fun r ->
-      Printf.printf "%-8s %-6s %-6s %-28s %-10s %-9s %-3s\n" r.model
+      Common.printf "%-8s %-6s %-6s %-28s %-10s %-9s %-3s\n" r.model
         (opt_fmt "%g" r.v) (opt_fmt "%g" r.alpha) r.a
         (opt_fmt "%.0f" r.lambda) (opt_fmt "%.2f" r.t0_msec)
         (match r.m with None -> "-" | Some m -> string_of_int m))
     (rows ());
-  Printf.printf "\nDAR(p) fits (S models):\n";
-  Printf.printf "%-10s %-3s %-7s %s\n" "target" "p" "rho" "a_1..a_p";
+  Common.printf "\nDAR(p) fits (S models):\n";
+  Common.printf "%-10s %-3s %-7s %s\n" "target" "p" "rho" "a_1..a_p";
   List.iter
     (fun f ->
-      Printf.printf "%-10s %-3d %-7.3f %s\n" f.target f.p f.rho
+      Common.printf "%-10s %-3d %-7.3f %s\n" f.target f.p f.rho
         (String.concat ", "
            (Array.to_list (Array.map (Printf.sprintf "%.3f") f.weights))))
     (dar_fits ());

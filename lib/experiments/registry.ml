@@ -140,7 +140,7 @@ let run_all ?(include_simulated = true) ?(quiet = false) () =
     (fun e ->
       if include_simulated || not e.simulated then begin
         if not quiet then
-          Printf.printf "\n######## %s: %s ########\n%!" e.id e.title;
+          Common.printf "\n######## %s: %s ########\n%!" e.id e.title;
         run_entry e
       end)
     all

@@ -73,7 +73,7 @@ let quantile x p =
   let n = Array.length x in
   assert (n > 0);
   let sorted = Array.copy x in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = p *. float_of_int (n - 1) in
   let i = int_of_float (floor pos) in
   if i >= n - 1 then sorted.(n - 1)
@@ -87,7 +87,9 @@ let map2 f a b =
   assert (Array.length b = n);
   Array.init n (fun i -> f a.(i) b.(i))
 
-let normalize_in_place x =
+(* N2 waiver: the division sits under the [total > 0.0] branch; a
+   zero-sum array is left untouched by design. *)
+let[@lint.allow "N2"] normalize_in_place x =
   let total = sum x in
   if total > 0.0 then
     for i = 0 to Array.length x - 1 do

@@ -1,8 +1,8 @@
 let bisect ~f ~lo ~hi ~tol =
   assert (hi > lo && tol > 0.0);
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if Float.equal flo 0.0 then lo
+  else if Float.equal fhi 0.0 then hi
   else begin
     assert (flo *. fhi < 0.0);
     let rec loop lo hi flo =
@@ -10,7 +10,7 @@ let bisect ~f ~lo ~hi ~tol =
       else begin
         let mid = (lo +. hi) /. 2.0 in
         let fmid = f mid in
-        if fmid = 0.0 then mid
+        if Float.equal fmid 0.0 then mid
         else if flo *. fmid < 0.0 then loop lo mid flo
         else loop mid hi fmid
       end
@@ -40,8 +40,8 @@ let brent ~f ~lo ~hi ~tol =
   assert (hi > lo && tol > 0.0);
   let a = ref lo and b = ref hi in
   let fa = ref (f !a) and fb = ref (f !b) in
-  if !fa = 0.0 then !a
-  else if !fb = 0.0 then !b
+  if Float.equal !fa 0.0 then !a
+  else if Float.equal !fb 0.0 then !b
   else begin
     assert (!fa *. !fb < 0.0);
     if Float.abs !fa < Float.abs !fb then begin
@@ -59,7 +59,7 @@ let brent ~f ~lo ~hi ~tol =
     let iter = ref 0 in
     while !result = None && !iter < 200 do
       incr iter;
-      if Float.abs (!b -. !a) < tol || !fb = 0.0 then result := Some !b
+      if Float.abs (!b -. !a) < tol || Float.equal !fb 0.0 then result := Some !b
       else begin
         let s =
           if !fa <> !fc && !fb <> !fc then

@@ -9,7 +9,7 @@ let lanczos_coefficients =
      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
 
 let rec log_gamma x =
-  assert (x > 0.0 || Float.rem x 1.0 <> 0.0);
+  assert (x > 0.0 || not (Float.equal (Float.rem x 1.0) 0.0));
   if x < 0.5 then
     (* Reflection keeps the Lanczos sum in its accurate region. *)
     log (pi /. Float.abs (sin (pi *. x))) -. log_gamma (1.0 -. x)
@@ -27,11 +27,13 @@ let gamma x =
   if x > 0.0 then exp (log_gamma x)
   else begin
     (* Reflection formula: Gamma(x) Gamma(1-x) = pi / sin(pi x). *)
-    assert (Float.rem x 1.0 <> 0.0);
+    assert (not (Float.equal (Float.rem x 1.0) 0.0));
     pi /. (sin (pi *. x) *. exp (log_gamma (1.0 -. x)))
   end
 
-let log_factorial_table =
+(* N2 waiver: built once at module init; the loop bounds pin the log
+   argument to n >= 2. *)
+let[@lint.allow "N2"] log_factorial_table =
   let table = Array.make 128 0.0 in
   for n = 2 to 127 do
     table.(n) <- table.(n - 1) +. log (float_of_int n)
@@ -45,7 +47,9 @@ let log_factorial n =
 
 (* Abramowitz & Stegun 7.1.26; |error| <= 1.5e-7, adequate for CDF
    evaluation in tests and histograms. *)
-let erf x =
+(* N2 waiver: exp's argument is -x^2 <= 0 (no overflow; underflow is
+   the correct tail behaviour) and the divisor is 1 + 0.33|x| >= 1. *)
+let[@lint.allow "N2"] erf x =
   let sign = if x < 0.0 then -1.0 else 1.0 in
   let x = Float.abs x in
   let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
@@ -60,9 +64,7 @@ let erf x =
 
 let erfc x = 1.0 -. erf x
 
-let sqrt2 = sqrt 2.0
-
-let normal_cdf x = 0.5 *. erfc (-.x /. sqrt2)
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt 2.0)
 
 (* Acklam's inverse normal CDF: central rational approximation plus a
    tail approximation applied by symmetry. *)
@@ -83,6 +85,7 @@ let acklam_d =
      3.754408661907416e+00 |]
 
 let acklam_tail p =
+  assert (p > 0.0 && p < 1.0);
   let c = acklam_c and d = acklam_d in
   let q = sqrt (-2.0 *. log p) in
   (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
@@ -141,4 +144,4 @@ let expm1 = Float.expm1
 
 let pow x y =
   assert (x >= 0.0);
-  if y = 0.0 then 1.0 else if x = 0.0 then 0.0 else exp (y *. log x)
+  if Float.equal y 0.0 then 1.0 else if Float.equal x 0.0 then 0.0 else exp (y *. log x)

@@ -11,8 +11,8 @@ let prom_name name = String.map (fun c -> if c = '.' then '_' else c) name
 
 let prom_float x =
   if Float.is_nan x then "NaN"
-  else if x = infinity then "+Inf"
-  else if x = neg_infinity then "-Inf"
+  else if Float.equal x infinity then "+Inf"
+  else if Float.equal x neg_infinity then "-Inf"
   else if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%.0f" x
   else Printf.sprintf "%.12g" x

@@ -28,7 +28,7 @@ let float_repr x =
      literals, so those become null at the call site. *)
   let s = Printf.sprintf "%.17g" x in
   let shorter = Printf.sprintf "%.12g" x in
-  if float_of_string shorter = x then shorter else s
+  if Float.equal (float_of_string shorter) x then shorter else s
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"

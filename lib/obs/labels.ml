@@ -14,14 +14,18 @@ let make pairs =
       if not (valid_key k) then
         invalid_arg (Printf.sprintf "Obs.Labels.make: bad label key %S" k))
     pairs;
-  let sorted = List.sort_uniq (fun (a, _) (b, _) -> compare a b) pairs in
+  let sorted = List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) pairs in
   if List.length sorted <> List.length pairs then
     invalid_arg "Obs.Labels.make: duplicate label keys";
   sorted
 
 let is_empty t = t = []
 let to_list t = t
-let compare = Stdlib.compare
+
+let compare_pair (ka, va) (kb, vb) =
+  match String.compare ka kb with 0 -> String.compare va vb | c -> c
+
+let compare a b = List.compare compare_pair a b
 let equal a b = compare a b = 0
 
 let escape_value v =

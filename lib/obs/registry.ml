@@ -286,7 +286,7 @@ let snapshot_of_hist cell =
   }
 
 let merge_hist_snapshots a b =
-  if a.hlo <> b.hlo || a.hhi <> b.hhi || Array.length a.counts <> Array.length b.counts
+  if (not (Float.equal a.hlo b.hlo)) || (not (Float.equal a.hhi b.hhi)) || Array.length a.counts <> Array.length b.counts
   then invalid_arg "Obs.Registry: histogram shards with incompatible shapes";
   {
     a with
@@ -298,7 +298,7 @@ let merge_hist_snapshots a b =
   }
 
 let compare_key ((na, la) : key) ((nb, lb) : key) =
-  match compare na nb with 0 -> Labels.compare la lb | c -> c
+  match String.compare na nb with 0 -> Labels.compare la lb | c -> c
 
 let sorted_bindings merge tbl_of_shard declared zero shard_list =
   let acc : (key, 'v) Hashtbl.t = Hashtbl.create 64 in

@@ -56,8 +56,36 @@ let message t line =
 
 let messagef t fmt = Printf.ksprintf (message t) fmt
 
+(* Raw chunk onto a sink, no implicit newline: library code renders
+   aligned tables cell by cell through this.  A [Jsonl] sink cannot
+   carry partial lines, so chunks buffer until a '\n' and each
+   completed line becomes one "message" event. *)
+let jsonl_partial = Buffer.create 256
+
+let output t s =
+  match t with
+  | Null -> ()
+  | Text oc ->
+      output_string oc s;
+      flush oc
+  | Jsonl _ ->
+      Buffer.add_string jsonl_partial s;
+      let rec drain () =
+        let pending = Buffer.contents jsonl_partial in
+        match String.index_opt pending '\n' with
+        | None -> ()
+        | Some i ->
+            Buffer.clear jsonl_partial;
+            Buffer.add_substring jsonl_partial pending (i + 1)
+              (String.length pending - i - 1);
+            message t (String.sub pending 0 i);
+            drain ()
+      in
+      drain ()
+
 (* The process-wide sink for human-readable operational summaries
    (engine metric reports and the like).  [--quiet] swaps in [Null]. *)
 let human = ref (Text stdout)
 let set_human t = human := t
 let human_sink () = !human
+let printf fmt = Printf.ksprintf (fun s -> output !human s) fmt

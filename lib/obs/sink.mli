@@ -29,8 +29,21 @@ val message : t -> string -> unit
 
 val messagef : t -> ('a, unit, string, unit) format4 -> 'a
 
+val output : t -> string -> unit
+(** Raw chunk, no implicit newline — for rendering aligned tables
+    cell by cell.  [Jsonl] buffers partial lines and emits one
+    ["message"] event per completed line; [Null] drops everything. *)
+
 val set_human : t -> unit
 (** Replace the process-wide sink for operational summaries (default:
     [Text stdout]).  The CLI's [--quiet] installs [Null] here. *)
 
 val human_sink : unit -> t
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** [Printf.printf]-shaped formatting onto the process-wide human
+    sink via {!output}.  This is the sanctioned way for library code
+    to produce operator-facing text: it respects [--quiet] (a [Null]
+    human sink drops the output) and never touches [stdout]
+    directly.  Lint rule H1 rejects [Printf.printf] and friends in
+    [lib/] for exactly this reason. *)

@@ -62,7 +62,7 @@ let clr ~sources ~service_cells_per_frame ~buffer_cells ~ts ~frames ?warmup () =
         end)
       sources;
     let arrivals = Array.of_list !arrivals in
-    Array.sort compare arrivals;
+    Array.sort Float.compare arrivals;
     let l = simulate_frame state ~arrivals ~service_time ~buffer_cells in
     if count then lost := !lost + l
   in

@@ -13,12 +13,12 @@ let autocovariance x ~max_lag =
 let normalize gamma =
   assert (Array.length gamma > 0);
   let g0 = gamma.(0) in
-  if g0 = 0.0 then Array.map (fun _ -> 0.0) gamma
+  if Float.equal g0 0.0 then Array.map (fun _ -> 0.0) gamma
   else Array.map (fun g -> g /. g0) gamma
 
 let autocorrelation x ~max_lag =
   let r = normalize (autocovariance x ~max_lag) in
-  if Array.length r > 0 && r.(0) = 0.0 then r.(0) <- 1.0;
+  if Array.length r > 0 && Float.equal r.(0) 0.0 then r.(0) <- 1.0;
   r
 
 let autocovariance_fft x ~max_lag =
@@ -41,7 +41,7 @@ let autocovariance_fft x ~max_lag =
 
 let autocorrelation_fft x ~max_lag =
   let r = normalize (autocovariance_fft x ~max_lag) in
-  if Array.length r > 0 && r.(0) = 0.0 then r.(0) <- 1.0;
+  if Array.length r > 0 && Float.equal r.(0) 0.0 then r.(0) <- 1.0;
   r
 
 let partial_autocorrelation x ~max_lag =

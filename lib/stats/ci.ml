@@ -29,7 +29,7 @@ let contains { point; half_width; _ } x =
   x >= point -. half_width && x <= point +. half_width
 
 let relative_half_width { point; half_width; _ } =
-  if point = 0.0 then infinity else half_width /. Float.abs point
+  if Float.equal point 0.0 then infinity else half_width /. Float.abs point
 
 let log10_interval { point; half_width; _ } =
   let tiny = 1e-300 in

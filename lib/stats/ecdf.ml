@@ -3,7 +3,7 @@ type t = { sorted : float array }
 let of_samples x =
   assert (Array.length x > 0);
   let sorted = Array.copy x in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   { sorted }
 
 let size t = Array.length t.sorted

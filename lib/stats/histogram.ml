@@ -44,7 +44,7 @@ let copy t =
   }
 
 let same_shape a b =
-  a.lo = b.lo && a.hi = b.hi && Array.length a.counts = Array.length b.counts
+  Float.equal a.lo b.lo && Float.equal a.hi b.hi && Array.length a.counts = Array.length b.counts
 
 let merge_into ~into t =
   if not (same_shape into t) then

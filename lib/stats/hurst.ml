@@ -12,7 +12,7 @@ let geometric_blocks ~min_block ~max_block ~num_scales =
     |> Array.map (fun s -> int_of_float (Float.round s))
   in
   (* Deduplicate after rounding. *)
-  let unique = List.sort_uniq compare (Array.to_list sizes) in
+  let unique = List.sort_uniq Int.compare (Array.to_list sizes) in
   Array.of_list unique
 
 let fit_of_points points =

@@ -1,0 +1,4 @@
+(* C1 positives: module-level mutable state, unsynchronized under
+   Domain-parallel sweeps. *)
+let cache = Hashtbl.create 16
+let count = ref 0

@@ -1,0 +1,9 @@
+(* C2 positives outside the sanctioned modules: raw wall-clock reads
+   and Domain.spawn.  The same file linted as lib/cac/sweep.ml or
+   lib/obs/clock.ml loses the corresponding finding. *)
+let now () = Unix.gettimeofday ()
+
+let par f g =
+  let d = Domain.spawn f in
+  let y = g () in
+  (Domain.join d, y)

@@ -1,0 +1,10 @@
+(* Representative clean kernel code: guarded division, Float.equal /
+   Float.compare instead of structural comparison. *)
+let mean xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let close a b = Float.abs (a -. b) <= 1e-9
+let order xs = List.sort Float.compare xs
+let is_zero v = Float.equal v 0.0

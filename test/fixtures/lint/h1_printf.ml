@@ -1,0 +1,4 @@
+(* H1 positives in library code: direct stdout printing bypasses
+   Obs.Sink and ignores --quiet. *)
+let greet name = Printf.printf "hello %s\n" name
+let bye () = print_endline "bye"

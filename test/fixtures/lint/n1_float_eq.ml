@@ -1,0 +1,4 @@
+(* N1 positives: structural comparison with float-smelling operands. *)
+let eq_lit x = x = 1.0
+let ne_lit x = x <> 0.5
+let cmp_poly a b = compare a b < 0

@@ -1,0 +1,10 @@
+(* Same shapes as n1_float_eq.ml, each suppressed by a waiver form the
+   linter supports: expression attribute, binding attribute, and the
+   floating file-scope attribute. *)
+let eq_lit x = ((x = 1.0) [@lint.allow "N1"])
+
+let[@lint.allow "N1"] ne_lit x = x <> 0.5
+
+[@@@lint.allow "N1"]
+
+let cmp_poly a b = compare a b < 0

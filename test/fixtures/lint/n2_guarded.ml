@@ -1,0 +1,9 @@
+(* N2 negatives: a guard in the enclosing binding, a waiver, and a
+   compile-time-constant argument each silence the rule. *)
+let bop x =
+  assert (x > 0.0);
+  exp (-.x)
+
+let[@lint.allow "N2"] tail x = log x
+
+let log10_e = log10 (exp 1.0)

@@ -1,0 +1,4 @@
+(* N2 positives when linted as a kernel path (lib/core): exp and (/.)
+   with no finiteness guard in the enclosing binding. *)
+let bop x = exp (-.x)
+let ratio a b = a /. b

@@ -1,0 +1,3 @@
+(* Deliberately unparseable: the linter must report a single P0
+   finding instead of crashing. *)
+let = bad (

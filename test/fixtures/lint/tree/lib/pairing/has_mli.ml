@@ -1,0 +1,2 @@
+(* H1 pairing fixture: has a matching .mli. *)
+let x = 1

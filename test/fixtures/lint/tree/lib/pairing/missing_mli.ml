@@ -1,0 +1,2 @@
+(* H1 pairing fixture: deliberately lacks a .mli. *)
+let y = 2

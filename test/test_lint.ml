@@ -1,0 +1,202 @@
+(* Golden tests for ctslint over the fixtures in fixtures/lint/.
+   Every rule gets a positive fixture and a waived (or otherwise
+   sanctioned) negative.  [~as_path] relocates a fixture so the
+   path-scoped rules (N2 kernels, C2 sanctioned modules, C1 allowlist,
+   H1 library code) see the layout they key on. *)
+
+open Ctslint_lib
+
+let cfg = Lint_config.default
+
+(* dune runtest runs us from test/'s build dir; a manual
+   [dune exec test/test_main.exe] runs from the workspace root. *)
+let fixture_root =
+  if Sys.file_exists "fixtures" then "fixtures/lint"
+  else Filename.concat "test" "fixtures/lint"
+
+let fixture name = Filename.concat fixture_root name
+
+(* Compact golden form: "line:col RULE", path-independent. *)
+let lint ?(config = cfg) ~as_path name =
+  Lint_driver.lint_file ~cfg:config ~as_path (fixture name)
+  |> List.map (fun f ->
+         Printf.sprintf "%d:%d %s" f.Lint_finding.line f.Lint_finding.col
+           f.Lint_finding.rule)
+
+let check = Alcotest.(check (list string))
+
+(* {2 N1: structural comparison on floats} *)
+
+let test_n1_positive () =
+  check "float (=), (<>) and polymorphic compare are flagged"
+    [ "2:15 N1"; "3:15 N1"; "4:19 N1" ]
+    (lint ~as_path:"lib/misc/n1_float_eq.ml" "n1_float_eq.ml")
+
+let test_n1_waived () =
+  check "expression, binding and file-scope waivers all suppress N1" []
+    (lint ~as_path:"lib/misc/n1_waived.ml" "n1_waived.ml")
+
+let test_n1_message () =
+  let actual =
+    Lint_driver.lint_file ~cfg ~as_path:"lib/misc/n1_float_eq.ml"
+      (fixture "n1_float_eq.ml")
+    |> List.map Lint_finding.to_string
+  in
+  check "full finding lines are stable"
+    [
+      "lib/misc/n1_float_eq.ml:2:15 N1 structural (=) on a float operand; \
+       use Float.equal or an epsilon helper";
+      "lib/misc/n1_float_eq.ml:3:15 N1 structural (<>) on a float operand; \
+       use Float.equal or an epsilon helper";
+      "lib/misc/n1_float_eq.ml:4:19 N1 polymorphic compare; use a typed \
+       comparator (Float.compare, String.compare, Int.compare)";
+    ]
+    actual
+
+(* {2 N2: unguarded transcendentals/divisions in kernels} *)
+
+let test_n2_kernel_positive () =
+  check "unguarded exp and (/.) flagged inside a kernel path"
+    [ "3:12 N2"; "4:16 N2" ]
+    (lint ~as_path:"lib/core/n2_unguarded.ml" "n2_unguarded.ml")
+
+let test_n2_outside_kernel () =
+  check "the same code outside kernel paths is not N2's business" []
+    (lint ~as_path:"lib/misc/n2_unguarded.ml" "n2_unguarded.ml")
+
+let test_n2_guarded () =
+  check "assert guard, waiver and constant folding each silence N2" []
+    (lint ~as_path:"lib/core/n2_guarded.ml" "n2_guarded.ml")
+
+(* {2 C1: toplevel mutable state} *)
+
+let test_c1_positive () =
+  check "toplevel Hashtbl.create and ref are flagged"
+    [ "3:0 C1"; "4:0 C1" ]
+    (lint ~as_path:"lib/misc/c1_toplevel.ml" "c1_toplevel.ml")
+
+let test_c1_waived () =
+  check "binding-level waiver suppresses C1" []
+    (lint ~as_path:"lib/misc/c1_waived.ml" "c1_waived.ml")
+
+let test_c1_allowlisted () =
+  check "the registry allowlist exempts the same code" []
+    (lint ~as_path:"lib/obs/registry.ml" "c1_toplevel.ml")
+
+(* {2 C2: Domain.spawn / wall-clock discipline} *)
+
+let test_c2_positive () =
+  check "gettimeofday and Domain.spawn flagged in ordinary lib code"
+    [ "4:13 C2"; "7:10 C2" ]
+    (lint ~as_path:"lib/misc/c2_effects.ml" "c2_effects.ml")
+
+let test_c2_sweep () =
+  check "Cac.Sweep may spawn domains but still may not read the clock"
+    [ "4:13 C2" ]
+    (lint ~as_path:"lib/cac/sweep.ml" "c2_effects.ml")
+
+let test_c2_clock () =
+  check "Obs.Clock may read the clock but still may not spawn domains"
+    [ "7:10 C2" ]
+    (lint ~as_path:"lib/obs/clock.ml" "c2_effects.ml")
+
+(* {2 H1: hygiene} *)
+
+let test_h1_positive () =
+  check "Printf.printf and print_endline flagged in library code"
+    [ "3:17 H1"; "4:13 H1" ]
+    (lint ~as_path:"lib/misc/h1_printf.ml" "h1_printf.ml")
+
+let test_h1_sink () =
+  check "Obs.Sink is the sanctioned printer" []
+    (lint ~as_path:"lib/obs/sink.ml" "h1_printf.ml")
+
+let test_h1_bin () =
+  check "executables may print; H1 is library-only" []
+    (lint ~as_path:"bin/h1_printf.ml" "h1_printf.ml")
+
+let test_h1_mli_pairing () =
+  let report = Lint_driver.run ~cfg [ fixture "tree" ] in
+  Alcotest.(check int) "both modules scanned" 2 report.Lint_driver.files_scanned;
+  check "exactly the .mli-less module is flagged"
+    [
+      Filename.concat fixture_root "tree/lib/pairing/missing_mli.ml"
+      ^ ":1:0 H1 missing interface missing_mli.mli for library module";
+    ]
+    (List.map Lint_finding.to_string report.Lint_driver.findings)
+
+(* {2 Clean file and parse failure} *)
+
+let test_clean () =
+  check "representative clean kernel code produces zero findings" []
+    (lint ~as_path:"lib/core/clean.ml" "clean.ml")
+
+let test_syntax_error () =
+  match lint ~as_path:"lib/misc/syntax_error.ml" "syntax_error.ml" with
+  | [ one ] ->
+      Alcotest.(check bool)
+        "parse failure is a P0 finding, not a crash" true
+        (String.length one >= 2
+        && String.sub one (String.length one - 2) 2 = "P0")
+  | fs ->
+      Alcotest.failf "expected exactly one P0 finding, got %d: %s"
+        (List.length fs) (String.concat "; " fs)
+
+(* {2 Config: parsing and path matching} *)
+
+let test_config_parse () =
+  let c =
+    Lint_config.of_string
+      "# policy\nfloat-field lo\nexclude vendor\nkernel-path lib/fast\n"
+  in
+  Alcotest.(check bool) "float-field appended" true
+    (List.mem "lo" c.Lint_config.float_fields);
+  Alcotest.(check bool) "exclude appended after defaults" true
+    (Lint_config.excluded c "vendor/dep.ml");
+  Alcotest.(check bool) "kernel-path extends the built-in kernel set" true
+    (Lint_config.kernel c "lib/fast/kernel.ml"
+    && Lint_config.kernel c "lib/core/cts.ml");
+  (match Lint_config.of_string "no-such-directive x\n" with
+  | _ -> Alcotest.fail "unknown directive accepted"
+  | exception Failure msg ->
+      Alcotest.(check bool) "error carries the line number" true
+        (String.length msg > 0 && msg.[String.length msg - 1] <> '\n'));
+  match Lint_config.of_string "exclude\n" with
+  | _ -> Alcotest.fail "valueless directive accepted"
+  | exception Failure _ -> ()
+
+let test_path_matching () =
+  let m = Lint_config.matches in
+  Alcotest.(check bool) "direct prefix" true (m "lib/core/cts.ml" "lib/core");
+  Alcotest.(check bool) "infix under a fixture tree" true
+    (m "test/fixtures/lint/lib/core/bad.ml" "lib/core");
+  Alcotest.(check bool) "components must match exactly" false
+    (m "lib/core_ext/cts.ml" "lib/core");
+  Alcotest.(check bool) "sequence must be contiguous" false
+    (m "lib/misc/core/x.ml" "lib/core");
+  Alcotest.(check bool) "./ and duplicate slashes are normalized" true
+    (m "./lib//core/cts.ml" "lib/core")
+
+let suite =
+  [
+    Alcotest.test_case "n1 positive" `Quick test_n1_positive;
+    Alcotest.test_case "n1 waived" `Quick test_n1_waived;
+    Alcotest.test_case "n1 message golden" `Quick test_n1_message;
+    Alcotest.test_case "n2 kernel positive" `Quick test_n2_kernel_positive;
+    Alcotest.test_case "n2 outside kernel" `Quick test_n2_outside_kernel;
+    Alcotest.test_case "n2 guarded/waived" `Quick test_n2_guarded;
+    Alcotest.test_case "c1 positive" `Quick test_c1_positive;
+    Alcotest.test_case "c1 waived" `Quick test_c1_waived;
+    Alcotest.test_case "c1 allowlisted" `Quick test_c1_allowlisted;
+    Alcotest.test_case "c2 positive" `Quick test_c2_positive;
+    Alcotest.test_case "c2 sweep exemption" `Quick test_c2_sweep;
+    Alcotest.test_case "c2 clock exemption" `Quick test_c2_clock;
+    Alcotest.test_case "h1 positive" `Quick test_h1_positive;
+    Alcotest.test_case "h1 sink exemption" `Quick test_h1_sink;
+    Alcotest.test_case "h1 bin exemption" `Quick test_h1_bin;
+    Alcotest.test_case "h1 mli pairing" `Quick test_h1_mli_pairing;
+    Alcotest.test_case "clean file" `Quick test_clean;
+    Alcotest.test_case "syntax error -> P0" `Quick test_syntax_error;
+    Alcotest.test_case "config parsing" `Quick test_config_parse;
+    Alcotest.test_case "path matching" `Quick test_path_matching;
+  ]

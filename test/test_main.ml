@@ -29,4 +29,5 @@ let () =
       ("obs", Test_obs.suite);
       ("cac", Test_cac.suite);
       ("experiments", Test_experiments.suite);
+      ("lint", Test_lint.suite);
     ]

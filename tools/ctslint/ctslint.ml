@@ -1,0 +1,65 @@
+(* ctslint — project-specific static analysis for numeric safety and
+   Domain-parallelism discipline.  See docs/static-analysis.md for the
+   rule catalogue and rationale.
+
+   Exit codes: 0 clean, 1 findings, 2 usage/internal error. *)
+
+open Ctslint_lib
+
+let usage =
+  "ctslint [--config FILE] [--json FILE] [--quiet] [PATH...]\n\
+   Lints every .ml under the given paths (default: lib bin bench)\n\
+   against the project rules N1 N2 C1 C2 H1; exits 1 on findings."
+
+let () =
+  let config_path = ref None in
+  let json_path = ref None in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--config",
+        Arg.String (fun s -> config_path := Some s),
+        "FILE read policy from FILE (default: .ctslint if present)" );
+      ( "--json",
+        Arg.String (fun s -> json_path := Some s),
+        "FILE also write a machine-readable report to FILE" );
+      ("--quiet", Arg.Set quiet, " suppress the human-readable report");
+    ]
+  in
+  (try Arg.parse spec (fun p -> paths := p :: !paths) usage
+   with exn ->
+     prerr_endline (Printexc.to_string exn);
+     exit 2);
+  let cfg =
+    match !config_path with
+    | Some path -> (
+        try Lint_config.load path
+        with Failure msg | Sys_error msg ->
+          Printf.eprintf "ctslint: bad config: %s\n" msg;
+          exit 2)
+    | None ->
+        if Sys.file_exists ".ctslint" then Lint_config.load ".ctslint"
+        else Lint_config.default
+  in
+  let paths =
+    match List.rev !paths with
+    | [] ->
+        List.filter Sys.file_exists [ "lib"; "bin"; "bench" ]
+    | ps -> ps
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  if missing <> [] then begin
+    Printf.eprintf "ctslint: no such path: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let report = Lint_driver.run ~cfg paths in
+  if not !quiet then Lint_driver.print_report report;
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Lint_driver.report_to_json report));
+      output_char oc '\n';
+      close_out oc);
+  exit (if report.Lint_driver.findings = [] then 0 else 1)

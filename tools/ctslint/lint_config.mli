@@ -1,0 +1,43 @@
+(** Project lint policy: which paths each rule applies to, plus the
+    project-specific type knowledge a parsetree walker cannot infer
+    (names of float-carrying record fields and float bindings).
+
+    Loaded from a [.ctslint] file of [directive value] lines ([#]
+    comments allowed); every directive appends to the built-in
+    defaults. *)
+
+type t = {
+  excludes : string list;  (** skipped entirely *)
+  allow_toplevel_state : string list;  (** C1 exemptions *)
+  float_fields : string list;  (** record fields known to hold floats *)
+  float_idents : string list;  (** identifiers known to hold floats *)
+  kernel_paths : string list;  (** N2 scope *)
+  domain_spawn_paths : string list;  (** C2: Domain.spawn allowed here *)
+  clock_paths : string list;  (** C2: Unix.gettimeofday allowed here *)
+  printf_allow : string list;  (** H1: stdout printers allowed here *)
+  mli_exempt : string list;  (** H1: .mli pairing exemptions *)
+  lib_prefixes : string list;  (** what counts as library code *)
+}
+
+val default : t
+
+val of_string : string -> t
+(** Raises [Failure] with a line-numbered message on a malformed
+    directive. *)
+
+val load : string -> t
+
+(** Path predicates.  Patterns match when their [/]-separated
+    components appear contiguously anywhere in the path, so
+    [lib/core] matches both [lib/core/cts.ml] and
+    [test/fixtures/lint/lib/core/bad.ml]. *)
+
+val matches : string -> string -> bool
+val excluded : t -> string -> bool
+val toplevel_state_allowed : t -> string -> bool
+val kernel : t -> string -> bool
+val domain_spawn_allowed : t -> string -> bool
+val clock_allowed : t -> string -> bool
+val printf_allowed : t -> string -> bool
+val mli_exempted : t -> string -> bool
+val lib_code : t -> string -> bool

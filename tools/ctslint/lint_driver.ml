@@ -1,0 +1,127 @@
+type report = {
+  findings : Lint_finding.t list;
+  files_scanned : int;
+}
+
+(* -- filesystem ---------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+let rec collect_ml cfg path acc =
+  if Lint_config.excluded cfg path then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry -> collect_ml cfg (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let collect cfg paths =
+  List.fold_left (fun acc p -> collect_ml cfg p acc) [] paths
+  |> List.sort_uniq String.compare
+
+(* -- per-file lint ------------------------------------------------- *)
+
+let parse_implementation ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  Parse.implementation lexbuf
+
+let lint_source ~cfg ~file src =
+  match parse_implementation ~file src with
+  | structure -> Lint_rules.run ~cfg ~file structure
+  | exception exn ->
+      let line, col, detail =
+        match exn with
+        | Syntaxerr.Error err ->
+            let loc = Syntaxerr.location_of_error err in
+            ( loc.loc_start.pos_lnum,
+              loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
+              "syntax error" )
+        | Lexer.Error (_, loc) ->
+            ( loc.loc_start.pos_lnum,
+              loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
+              "lexer error" )
+        | exn -> (1, 0, Printexc.to_string exn)
+      in
+      [
+        Lint_finding.at ~file ~line ~col ~rule:"P0"
+          (Printf.sprintf "cannot parse: %s" detail);
+      ]
+
+let lint_file ~cfg ?as_path path =
+  let file = match as_path with Some p -> p | None -> path in
+  lint_source ~cfg ~file (read_file path)
+
+(* Every library implementation needs a matching interface: the .mli
+   is where invariants on the numeric API live, and an absent one
+   leaks representation details the rest of the checks assume are
+   private. *)
+let check_mli_pairing ~cfg files =
+  List.filter_map
+    (fun file ->
+      if
+        Lint_config.lib_code cfg file
+        && (not (Lint_config.mli_exempted cfg file))
+        && not (Sys.file_exists (file ^ "i"))
+      then
+        Some
+          (Lint_finding.at ~file ~line:1 ~col:0 ~rule:"H1"
+             (Printf.sprintf "missing interface %s for library module"
+                (Filename.basename file ^ "i")))
+      else None)
+    files
+
+let run ~cfg paths =
+  let files = collect cfg paths in
+  let findings =
+    List.concat_map (fun file -> lint_file ~cfg file) files
+    @ check_mli_pairing ~cfg files
+  in
+  { findings = List.sort Lint_finding.order findings;
+    files_scanned = List.length files }
+
+(* -- reporting ----------------------------------------------------- *)
+
+let counts_by_rule findings =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      let r = f.Lint_finding.rule in
+      Hashtbl.replace tbl r (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r)))
+    findings;
+  Hashtbl.fold (fun r n acc -> (r, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let report_to_json t =
+  Obs.Json.Obj
+    [
+      ("tool", Obs.Json.String "ctslint");
+      ("version", Obs.Json.Int 1);
+      ("files_scanned", Obs.Json.Int t.files_scanned);
+      ( "counts",
+        Obs.Json.Obj
+          (List.map
+             (fun (r, n) -> (r, Obs.Json.Int n))
+             (counts_by_rule t.findings)) );
+      ("findings", Obs.Json.List (List.map Lint_finding.to_json t.findings));
+    ]
+
+let print_report ?(oc = stdout) t =
+  List.iter
+    (fun f -> output_string oc (Lint_finding.to_string f ^ "\n"))
+    t.findings;
+  if t.findings = [] then
+    Printf.fprintf oc "ctslint: %d file(s) clean\n" t.files_scanned
+  else
+    Printf.fprintf oc "ctslint: %d finding(s) in %d file(s) scanned (%s)\n"
+      (List.length t.findings) t.files_scanned
+      (counts_by_rule t.findings
+      |> List.map (fun (r, n) -> Printf.sprintf "%s:%d" r n)
+      |> String.concat " ")

@@ -1,0 +1,30 @@
+(** File discovery, parsing and report assembly around
+    {!Lint_rules}. *)
+
+type report = {
+  findings : Lint_finding.t list;
+  files_scanned : int;
+}
+
+val lint_source :
+  cfg:Lint_config.t -> file:string -> string -> Lint_finding.t list
+(** Lint one implementation given as a string.  Unparseable input
+    yields a single [P0] finding rather than an exception, so a broken
+    file cannot hide other findings or crash CI. *)
+
+val lint_file :
+  cfg:Lint_config.t -> ?as_path:string -> string -> Lint_finding.t list
+(** Lint a file on disk.  [as_path] overrides the path used for
+    findings and path-scoped rules — tests use it to lint fixtures as
+    if they lived under [lib/]. *)
+
+val run : cfg:Lint_config.t -> string list -> report
+(** Recursively lint every [.ml] under the given files/directories
+    (skipping [exclude]d paths) and check the H1 [.mli] pairing for
+    library modules.  Findings come back in report order. *)
+
+val report_to_json : report -> Obs.Json.t
+
+val print_report : ?oc:out_channel -> report -> unit
+(** One [file:line:col rule-id message] line per finding plus a
+    trailing summary line. *)

@@ -1,0 +1,43 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let v ~file ~loc ~rule msg =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    msg;
+  }
+
+let at ~file ~line ~col ~rule msg = { file; line; col; rule; msg }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d %s %s" f.file f.line f.col f.rule f.msg
+
+let to_json f =
+  Obs.Json.Obj
+    [
+      ("file", Obs.Json.String f.file);
+      ("line", Obs.Json.Int f.line);
+      ("col", Obs.Json.Int f.col);
+      ("rule", Obs.Json.String f.rule);
+      ("message", Obs.Json.String f.msg);
+    ]

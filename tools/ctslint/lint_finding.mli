@@ -1,0 +1,26 @@
+(** A single linter diagnostic: position, rule id and message. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+val v : file:string -> loc:Location.t -> rule:string -> string -> t
+(** Position taken from [loc]'s start; columns are 0-based like the
+    compiler's own diagnostics. *)
+
+val at : file:string -> line:int -> col:int -> rule:string -> string -> t
+(** For findings with no parsetree location (missing [.mli], parse
+    errors at a known point). *)
+
+val order : t -> t -> int
+(** Report order: file, then line, then column, then rule id. *)
+
+val to_string : t -> string
+(** [file:line:col rule-id message] — one finding per line, the format
+    editors and CI log scrapers already understand. *)
+
+val to_json : t -> Obs.Json.t

@@ -1,0 +1,379 @@
+(* Parsetree-level rule checks.  Everything here is syntactic: we see
+   the program before typing, so "is this a float?" is answered by a
+   conservative smell test (literals, float operators, known
+   float-returning functions, configured field/ident names) rather
+   than by the type checker.  False negatives are acceptable — the
+   rules exist to catch the patterns that have actually bitten this
+   codebase — but anything flagged is precise enough to act on. *)
+
+open Parsetree
+
+type ctx = {
+  cfg : Lint_config.t;
+  file : string;
+  (* Findings paired with their start character offset, so waiver
+     spans (also character offsets) can be applied after the walk. *)
+  mutable findings : (int * Lint_finding.t) list;
+  (* Waivers as [rules, start-offset, end-offset] character spans.  An
+     empty rule list waives everything in the span. *)
+  mutable waivers : (string list * int * int) list;
+  (* Whether the enclosing toplevel binding contains a finiteness or
+     argument-validation guard (N2). *)
+  mutable guarded : bool;
+  (* The module defines its own [compare] (e.g. Labels.compare), so
+     later bare [compare] references are the typed local one, not the
+     polymorphic Stdlib one. *)
+  mutable local_compare : bool;
+}
+
+let add ctx loc rule msg =
+  ctx.findings <-
+    (loc.Location.loc_start.pos_cnum, Lint_finding.v ~file:ctx.file ~loc ~rule msg)
+    :: ctx.findings
+
+(* -- names --------------------------------------------------------- *)
+
+let rec lid_name = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, s) -> lid_name l ^ "." ^ s
+  | Longident.Lapply (a, b) -> lid_name a ^ "(" ^ lid_name b ^ ")"
+
+let ident_name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (lid_name txt)
+  | _ -> None
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let float_fns =
+  [
+    "exp"; "expm1"; "log"; "log10"; "log1p"; "sqrt"; "cbrt"; "sin"; "cos";
+    "tan"; "asin"; "acos"; "atan"; "atan2"; "sinh"; "cosh"; "tanh";
+    "abs_float"; "mod_float"; "float_of_int"; "float_of_string"; "float";
+    "floor"; "ceil"; "ldexp"; "copysign"; "hypot";
+  ]
+
+(* Identifiers that are floats regardless of configuration. *)
+let builtin_float_idents =
+  [
+    "infinity"; "neg_infinity"; "nan"; "max_float"; "min_float";
+    "epsilon_float"; "Float.infinity"; "Float.neg_infinity"; "Float.nan";
+    "Float.pi"; "Float.max_float"; "Float.min_float"; "Float.epsilon";
+  ]
+
+(* [Float.*] returns a float except for the predicates/conversions. *)
+let float_module_nonfloat =
+  [
+    "Float.equal"; "Float.compare"; "Float.is_nan"; "Float.is_finite";
+    "Float.is_integer"; "Float.sign_bit"; "Float.to_int"; "Float.to_string";
+  ]
+
+let exp_log_fns =
+  [
+    "exp"; "expm1"; "log"; "log10"; "log1p"; "Float.exp"; "Float.expm1";
+    "Float.log"; "Float.log10"; "Float.log1p"; "Float.pow"; "**";
+  ]
+
+let stdout_printers =
+  [
+    "Printf.printf"; "print_string"; "print_endline"; "print_newline";
+    "print_float"; "print_int"; "print_char"; "print_bytes";
+    "Format.printf"; "Format.print_string"; "Format.print_newline";
+  ]
+
+let toplevel_allocators =
+  [
+    "ref"; "Hashtbl.create"; "Buffer.create"; "Array.make"; "Array.create";
+    "Array.create_float"; "Array.init"; "Array.make_matrix"; "Queue.create";
+    "Stack.create"; "Bytes.create"; "Bytes.make"; "Weak.create";
+  ]
+
+(* Tokens whose presence in a binding counts as "this code thought
+   about bad inputs": explicit finiteness tests, float classification,
+   or argument validation that rejects the degenerate cases before the
+   transcendental call. *)
+let guard_idents =
+  [
+    "Float.is_finite"; "Float.is_nan"; "is_finite"; "is_nan";
+    "classify_float"; "Float.classify_float"; "infinity"; "neg_infinity";
+    "nan"; "Float.infinity"; "Float.nan"; "invalid_arg"; "failwith";
+    "Invalid_argument";
+  ]
+
+(* -- waivers ------------------------------------------------------- *)
+
+let waiver_of_attribute (attr : attribute) =
+  if attr.attr_name.txt <> "lint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr [] -> Some []
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                  _ );
+            _;
+          };
+        ] ->
+        Some
+          (String.split_on_char ' ' s
+          |> List.concat_map (String.split_on_char ',')
+          |> List.filter (fun r -> r <> ""))
+    | _ -> None
+
+let record_waivers ctx (loc : Location.t) attrs =
+  List.iter
+    (fun attr ->
+      match waiver_of_attribute attr with
+      | None -> ()
+      | Some rules ->
+          ctx.waivers <-
+            (rules, loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
+            :: ctx.waivers)
+    attrs
+
+let record_floating_waiver ctx (attr : attribute) =
+  match waiver_of_attribute attr with
+  | None -> ()
+  | Some rules ->
+      (* [@@@lint.allow "..."] waives from here to end of file. *)
+      ctx.waivers <- (rules, attr.attr_loc.loc_start.pos_cnum, max_int)
+      :: ctx.waivers
+
+let waived ctx rule offset =
+  List.exists
+    (fun (rules, lo, hi) ->
+      offset >= lo && offset <= hi && (rules = [] || List.mem rule rules))
+    ctx.waivers
+
+(* -- float smell (N1) ---------------------------------------------- *)
+
+let rec smells_float ctx e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_field (_, { txt; _ }) ->
+      List.mem (Longident.last txt) ctx.cfg.Lint_config.float_fields
+  | Pexp_ident { txt; _ } ->
+      let n = lid_name txt in
+      List.mem n builtin_float_idents
+      || List.mem n ctx.cfg.Lint_config.float_idents
+      || List.mem (Longident.last txt) ctx.cfg.Lint_config.float_idents
+  | Pexp_constraint (inner, ty) -> (
+      smells_float ctx inner
+      ||
+      match ty.ptyp_desc with
+      | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+      | _ -> false)
+  | Pexp_apply (fn, args) -> (
+      match ident_name fn with
+      | Some n when List.mem n float_ops -> true
+      | Some n when List.mem n float_fns -> true
+      | Some n
+        when String.length n > 6
+             && String.sub n 0 6 = "Float."
+             && not (List.mem n float_module_nonfloat) ->
+          true
+      | Some ("~-" | "~+") -> (
+          (* Unary minus is polymorphic-looking in the parsetree;
+             recurse into the operand. *)
+          match args with
+          | [ (_, a) ] -> smells_float ctx a
+          | _ -> false)
+      | _ -> false)
+  | _ -> false
+
+(* -- N2 helpers ---------------------------------------------------- *)
+
+(* Constant-foldable: literals and pure float functions of literals
+   ([log10 (exp 1.0)], [4.0 *. atan 1.0]).  These evaluate once at
+   module init to a value known finite, so N2 leaves them alone. *)
+let rec constantish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _ | Pconst_integer _) -> true
+  | Pexp_apply (fn, args) -> (
+      match ident_name fn with
+      | Some ("~-" | "~-." | "~+" | "~+." | "float_of_int") -> (
+          match args with [ (_, a) ] -> constantish a | _ -> false)
+      | Some n when List.mem n float_fns || List.mem n float_ops ->
+          List.for_all (fun (_, a) -> constantish a) args
+      | _ -> false)
+  | _ -> false
+
+let has_guard expr =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_assert _ -> found := true
+          | Pexp_ident { txt; _ } ->
+              if List.mem (lid_name txt) guard_idents then found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it expr;
+  !found
+
+(* -- per-expression checks ----------------------------------------- *)
+
+let check_expr ctx e =
+  let loc = e.pexp_loc in
+  (match e.pexp_desc with
+  (* N1: structural equality with a float-smelling operand. *)
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+        [ (_, a); (_, b) ] )
+    when smells_float ctx a || smells_float ctx b ->
+      add ctx loc "N1"
+        (Printf.sprintf
+           "structural (%s) on a float operand; use Float.equal or an \
+            epsilon helper"
+           op)
+  | _ -> ());
+  (match e.pexp_desc with
+  (* N1: polymorphic compare anywhere in linted code — it is
+     structural on floats (NaN-hostile) and boxes on every call.
+     A module that defines its own typed [compare] may keep using the
+     short name afterwards. *)
+  | Pexp_ident
+      { txt = Longident.Lident "compare" | Longident.Ldot (Longident.Lident "Stdlib", "compare");
+        _ }
+    when not ctx.local_compare ->
+      add ctx loc "N1"
+        "polymorphic compare; use a typed comparator (Float.compare, \
+         String.compare, Int.compare)"
+  | _ -> ());
+  (* N2: unguarded transcendental calls / divisions in numeric kernels. *)
+  (if Lint_config.kernel ctx.cfg ctx.file && not ctx.guarded then
+     match e.pexp_desc with
+     | Pexp_apply (fn, args) -> (
+         match ident_name fn with
+         | Some n when List.mem n exp_log_fns ->
+             let arg_constant =
+               match args with [ (_, a) ] -> constantish a | _ -> false
+             in
+             if not arg_constant then
+               add ctx loc "N2"
+                 (Printf.sprintf
+                    "unguarded %s in a numeric kernel: the enclosing \
+                     toplevel binding has no finiteness check or argument \
+                     validation (assert/invalid_arg/Float.is_finite); add \
+                     one or waive with [@lint.allow \"N2\"]"
+                    n)
+         | Some "/." -> (
+             match args with
+             | [ _; (_, divisor) ] when not (constantish divisor) ->
+                 add ctx loc "N2"
+                   "unguarded (/.) in a numeric kernel: the enclosing \
+                    toplevel binding has no finiteness check or argument \
+                    validation; add one or waive with [@lint.allow \"N2\"]"
+             | _ -> ())
+         | _ -> ())
+     | _ -> ());
+  (* C2: concurrency and clock discipline. *)
+  (match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match lid_name txt with
+      | "Domain.spawn" when not (Lint_config.domain_spawn_allowed ctx.cfg ctx.file)
+        ->
+          add ctx loc "C2"
+            "Domain.spawn outside the sanctioned parallel driver \
+             (Cac.Sweep); route parallelism through it"
+      | "Unix.gettimeofday"
+        when not (Lint_config.clock_allowed ctx.cfg ctx.file) ->
+          add ctx loc "C2"
+            "Unix.gettimeofday outside Obs.Clock; use Obs.Clock.wall so \
+             time is mockable and monotonic-clamped"
+      | _ -> ())
+  | _ -> ());
+  (* H1: no direct stdout printing from library code. *)
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ }
+    when Lint_config.lib_code ctx.cfg ctx.file
+         && (not (Lint_config.printf_allowed ctx.cfg ctx.file))
+         && List.mem (lid_name txt) stdout_printers ->
+      add ctx loc "H1"
+        (Printf.sprintf
+           "%s in library code; route output through Obs.Sink (the human \
+            sink respects --quiet) or Experiments.Ascii_plot"
+           (lid_name txt))
+  | _ -> ()
+
+(* -- toplevel state (C1) ------------------------------------------- *)
+
+let rec peel_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (inner, _) -> peel_constraint inner
+  | _ -> e
+
+let check_toplevel_binding ctx (vb : value_binding) =
+  if not (Lint_config.toplevel_state_allowed ctx.cfg ctx.file) then
+    let rhs = peel_constraint vb.pvb_expr in
+    match rhs.pexp_desc with
+    | Pexp_apply (fn, _) -> (
+        match ident_name fn with
+        | Some n when List.mem n toplevel_allocators ->
+            add ctx vb.pvb_loc "C1"
+              (Printf.sprintf
+                 "toplevel mutable state (%s) at module level: shared \
+                  mutable toplevel state is unsynchronized under \
+                  Domain-parallel sweeps; move it into Obs.Registry, pass \
+                  it explicitly, or waive with a justification"
+                 n)
+        | _ -> ())
+    | _ -> ()
+
+(* -- driver -------------------------------------------------------- *)
+
+let iterator ctx =
+  let open Ast_iterator in
+  {
+    default_iterator with
+    expr =
+      (fun it e ->
+        record_waivers ctx e.pexp_loc e.pexp_attributes;
+        check_expr ctx e;
+        default_iterator.expr it e);
+    value_binding =
+      (fun it vb ->
+        record_waivers ctx vb.pvb_loc vb.pvb_attributes;
+        default_iterator.value_binding it vb);
+    structure_item =
+      (fun it item ->
+        match item.pstr_desc with
+        | Pstr_attribute attr -> record_floating_waiver ctx attr
+        | Pstr_eval (_, attrs) ->
+            record_waivers ctx item.pstr_loc attrs;
+            default_iterator.structure_item it item
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                check_toplevel_binding ctx vb;
+                let saved = ctx.guarded in
+                ctx.guarded <- has_guard vb.pvb_expr;
+                it.value_binding it vb;
+                ctx.guarded <- saved;
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt = "compare"; _ } -> ctx.local_compare <- true
+                | _ -> ())
+              vbs
+        | _ -> default_iterator.structure_item it item);
+  }
+
+let run ~cfg ~file structure =
+  let ctx =
+    { cfg; file; findings = []; waivers = []; guarded = false;
+      local_compare = false }
+  in
+  let it = iterator ctx in
+  it.Ast_iterator.structure it structure;
+  ctx.findings
+  |> List.filter (fun (offset, f) ->
+         not (waived ctx f.Lint_finding.rule offset))
+  |> List.map snd
+  |> List.sort Lint_finding.order

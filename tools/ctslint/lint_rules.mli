@@ -1,0 +1,32 @@
+(** Parsetree-level rule checks.
+
+    Rules (ids appear in findings and in [@lint.allow] payloads):
+
+    - [N1] — no structural [=]/[<>] with a float-smelling operand and
+      no polymorphic [compare] anywhere; floats need [Float.equal]/
+      [Float.compare] or an epsilon helper (NaN breaks structural
+      equality silently).
+    - [N2] — in numeric kernels ([kernel-path]s), [exp]/[log]-family
+      calls and [(/.)]  must sit inside a toplevel binding that
+      visibly guards its inputs (assert / invalid_arg /
+      [Float.is_finite] / [classify_float] ...), or carry a waiver.
+    - [C1] — no toplevel mutable state ([ref], [Hashtbl.create],
+      [Buffer.create], [Array.make], ...) at module level outside the
+      [allow-toplevel-state] list.
+    - [C2] — [Domain.spawn] only in the sanctioned parallel driver;
+      [Unix.gettimeofday] only in [Obs.Clock].
+    - [H1] — no direct stdout printing from library code outside the
+      [printf-allow] list (the missing-[.mli] half of H1 lives in
+      {!Lint_driver}).
+
+    Waivers: [[@lint.allow "N1"]] on an expression or value binding
+    suppresses the named rules (space/comma separated; no payload
+    means all rules) within that node; [[@@@lint.allow "..."]] waives
+    from its position to end of file. *)
+
+val run :
+  cfg:Lint_config.t -> file:string -> Parsetree.structure ->
+  Lint_finding.t list
+(** Walk one implementation and return its unwaived findings in
+    report order.  [file] is the repo-relative path used both for
+    findings and for path-scoped rule applicability. *)
