@@ -101,6 +101,53 @@ let with_obs opts f =
   in
   Fun.protect ~finally:finish f
 
+(* {2 Fault-injection plumbing}
+
+   [--fault-spec RULES] arms the deterministic fault registry before
+   the command body runs (chaos testing of the CAC engine); a
+   malformed spec is a usage error.  The seed fixes the injection
+   stream, so a given (spec, seed, workload seed) triple reproduces
+   the exact same faults and decisions. *)
+
+type fault_opts = { fault_spec : string option; fault_seed : int }
+
+let fault_term =
+  let spec_arg =
+    let doc =
+      "Arm deterministic fault injection: comma-separated rules \
+       $(i,point=kind[:rate[:param]]) with kinds $(b,raise), $(b,nan), \
+       $(b,latency), e.g. 'bahadur_rao.evaluate=nan:0.01'.  See \
+       docs/resilience.md for the grammar and injection points."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "fault-spec" ] ~docv:"RULES" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the fault-injection stream." in
+    Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  Term.(
+    const (fun fault_spec fault_seed -> { fault_spec; fault_seed })
+    $ spec_arg $ seed_arg)
+
+(* Arm the registry, then run [k]; [`Error] on a malformed spec. *)
+let with_faults opts k =
+  match opts.fault_spec with
+  | None -> k ()
+  | Some s -> (
+      match Resilience.Fault.parse s with
+      | Error msg -> `Error (false, Printf.sprintf "bad --fault-spec: %s" msg)
+      | Ok rules ->
+          Resilience.Fault.configure ~seed:opts.fault_seed rules;
+          Fun.protect ~finally:Resilience.Fault.clear k)
+
+let max_retries_arg =
+  let doc =
+    "Kernel-evaluation retries inside the engine before a decision \
+     degrades to the peak-rate fallback."
+  in
+  Arg.(value & opt int 1 & info [ "max-retries" ] ~docv:"N" ~doc)
+
 let frames_arg =
   let doc = "Frames per simulation replication (default 20000)." in
   Arg.(value & opt (some int) None & info [ "frames" ] ~docv:"N" ~doc)
@@ -405,14 +452,16 @@ let cac_decide_cmd =
     let doc = "Connections of the class already admitted on the link." in
     Arg.(value & opt int 0 & info [ "n" ] ~docv:"N" ~doc)
   in
-  let run model capacity buffer_msec target_clr existing obs_opts =
+  let run model capacity buffer_msec target_clr existing max_retries fault_opts
+      obs_opts =
     with_obs obs_opts @@ fun () ->
+    with_faults fault_opts @@ fun () ->
     match Cac.Source_class.of_name model with
     | None ->
         `Error
           (false, Printf.sprintf "unknown class %S (try %s)" model class_names_doc)
     | Some cls ->
-        let engine = Cac.Engine.create () in
+        let engine = Cac.Engine.create ~max_retries () in
         let link =
           Cac.Engine.add_link_msec engine ~id:"link" ~capacity ~buffer_msec
             ~target_clr
@@ -448,18 +497,26 @@ let cac_decide_cmd =
           Printf.printf "admitted       %d x %s (utilization %.1f%%)\n" existing
             model
             (100.0 *. Cac.Link.utilization link);
-          Printf.printf "decision       %s\n"
+          Printf.printf "decision       %s%s\n"
             (if verdict.Cac.Engine.admissible then "ADMIT"
              else
                match verdict.Cac.Engine.reason with
                | Some Cac.Engine.Unstable -> "REJECT (mean load at capacity)"
-               | _ -> "REJECT (CLR target exceeded)");
+               | _ when verdict.Cac.Engine.degraded ->
+                   "REJECT (peak-rate allocation exceeds capacity)"
+               | _ -> "REJECT (CLR target exceeded)")
+            (if verdict.Cac.Engine.degraded then
+               " [degraded: kernel failed, fail-closed peak-rate fallback]"
+             else "");
           (match verdict.Cac.Engine.log10_bop with
           | Some bop -> Printf.printf "log10 BOP      %.3f (target %.3f)\n" bop (log10 target_clr)
           | None -> ());
           (match verdict.Cac.Engine.required_bw with
           | Some bw ->
-              Printf.printf "effective bw   %.1f of %g cells/frame\n" bw capacity
+              Printf.printf "%-14s %.1f of %g cells/frame\n"
+                (if verdict.Cac.Engine.degraded then "peak-rate bw"
+                 else "effective bw")
+                bw capacity
           | None -> ());
           Printf.printf "latency        %.1f us cold, %.1f us cached\n" cold_us
             warm_us;
@@ -472,7 +529,7 @@ let cac_decide_cmd =
     Term.(
       ret
         (const run $ cac_class_arg $ cac_capacity_arg $ buffer_arg $ cac_clr_arg
-       $ existing_arg $ obs_term))
+       $ existing_arg $ max_retries_arg $ fault_term $ obs_term))
 
 let cac_replay_cmd =
   let mix_arg =
@@ -504,8 +561,9 @@ let cac_replay_cmd =
     Arg.(value & opt int 1996 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
   let run mix_s capacity buffer_msec target_clr requests rate holding seed
-      obs_opts =
+      max_retries fault_opts obs_opts =
     with_obs obs_opts @@ fun () ->
+    with_faults fault_opts @@ fun () ->
     match parse_mix mix_s with
     | None ->
         `Error
@@ -514,7 +572,7 @@ let cac_replay_cmd =
               class_names_doc )
     | Some mix ->
         let make_engine () =
-          let engine = Cac.Engine.create () in
+          let engine = Cac.Engine.create ~max_retries () in
           ignore
             (Cac.Engine.add_link_msec engine ~id:"link" ~capacity ~buffer_msec
                ~target_clr);
@@ -548,6 +606,12 @@ let cac_replay_cmd =
           elapsed;
         Printf.printf "admitted       %d\n" result.Cac.Workload.admitted;
         Printf.printf "rejected       %d\n" result.Cac.Workload.rejected;
+        if result.Cac.Workload.errors > 0 || result.Cac.Workload.degraded > 0
+        then
+          Printf.printf
+            "resilience     %d engine errors (fail-closed), %d degraded \
+             peak-rate decisions\n"
+            result.Cac.Workload.errors result.Cac.Workload.degraded;
         Printf.printf "blocking       %.4f overall, %.4f steady-state\n"
           result.Cac.Workload.blocking result.Cac.Workload.steady_blocking;
         Printf.printf "occupancy      %.1f mean, %d peak, %d at end\n"
@@ -569,7 +633,8 @@ let cac_replay_cmd =
     Term.(
       ret
         (const run $ mix_arg $ cac_capacity_arg $ buffer_arg $ cac_clr_arg
-       $ requests_arg $ rate_arg $ holding_arg $ seed_replay_arg $ obs_term))
+       $ requests_arg $ rate_arg $ holding_arg $ seed_replay_arg
+       $ max_retries_arg $ fault_term $ obs_term))
 
 let cac_sweep_cmd =
   let models_arg =
@@ -603,8 +668,14 @@ let cac_sweep_cmd =
     let doc = "Re-run sequentially and verify bit-identical results." in
     Arg.(value & flag & info [ "check-sequential" ] ~doc)
   in
-  let run models buffers clrs capacity requests domains seed check obs_opts =
+  let task_retries_arg =
+    let doc = "Retries per failing sweep task before it reports ERROR." in
+    Arg.(value & opt int 1 & info [ "task-retries" ] ~docv:"N" ~doc)
+  in
+  let run models buffers clrs capacity requests domains seed check task_retries
+      fault_opts obs_opts =
     with_obs obs_opts @@ fun () ->
+    with_faults fault_opts @@ fun () ->
     let class_names = split_commas models in
     let unknown =
       List.filter (fun n -> Cac.Source_class.of_name n = None) class_names
@@ -624,14 +695,16 @@ let cac_sweep_cmd =
           ~target_clrs ()
       in
       let t0 = Obs.Clock.wall () in
-      let rows = Cac.Sweep.run ?domains scenarios in
+      let outcomes = Cac.Sweep.run ?domains ~task_retries scenarios in
       let elapsed = Obs.Clock.wall () -. t0 in
-      Cac.Sweep.print_table rows;
-      Printf.printf "%d scenarios in %.2f s\n" (Array.length rows) elapsed;
+      Cac.Sweep.print_table outcomes;
+      let failed = List.length (Cac.Sweep.failures outcomes) in
+      Printf.printf "%d scenarios (%d failed) in %.2f s\n"
+        (Array.length outcomes) failed elapsed;
       if not check then `Ok ()
       else begin
-        let sequential = Cac.Sweep.run ~domains:1 scenarios in
-        if sequential = rows then begin
+        let sequential = Cac.Sweep.run ~domains:1 ~task_retries scenarios in
+        if sequential = outcomes then begin
           Printf.printf "sequential re-run: identical\n";
           `Ok ()
         end
@@ -645,7 +718,8 @@ let cac_sweep_cmd =
     Term.(
       ret
         (const run $ models_arg $ buffers_arg $ clrs_arg $ cac_capacity_arg
-       $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg $ obs_term))
+       $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg
+       $ task_retries_arg $ fault_term $ obs_term))
 
 let cac_cmd =
   Cmd.group

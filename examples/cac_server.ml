@@ -7,9 +7,30 @@
    times stream through the engine, whose decision cache turns the
    steady-state Bahadur-Rao admission test into a hash lookup.
 
+   Set CAC_FAULT_SPEC (e.g. "bahadur_rao.evaluate=raise:0.01") to run
+   the same day under injected kernel faults and watch the engine
+   degrade fail-closed instead of crashing; CAC_FAULT_SEED fixes the
+   injection stream (default 7).
+
    Run with: dune exec examples/cac_server.exe *)
 
 let () =
+  (match Sys.getenv_opt "CAC_FAULT_SPEC" with
+  | None -> ()
+  | Some spec -> (
+      let seed =
+        Option.bind (Sys.getenv_opt "CAC_FAULT_SEED") int_of_string_opt
+        |> Option.value ~default:7
+      in
+      match Resilience.Fault.parse spec with
+      | Ok rules ->
+          Resilience.Fault.configure ~seed rules;
+          Printf.printf "fault injection armed: %s (seed %d)\n\n"
+            (Resilience.Fault.to_string rules)
+            seed
+      | Error msg ->
+          Printf.eprintf "bad CAC_FAULT_SPEC: %s\n%!" msg;
+          exit 2));
   let engine = Cac.Engine.create ~cache_capacity:4096 () in
   ignore
     (Cac.Engine.add_link_msec engine ~id:"oc3" ~capacity:16140.0
@@ -59,7 +80,12 @@ let () =
     Printf.printf "  decision cache: %.1f%% hits (%.1f%% steady-state)\n"
       (100.0 *. r.cache_hit_rate)
       (100.0 *. r.steady_cache_hit_rate);
-    Printf.printf "  mean decision latency: %.2f us\n" r.mean_latency_us
+    Printf.printf "  mean decision latency: %.2f us\n" r.mean_latency_us;
+    if r.errors > 0 || r.degraded > 0 then
+      Printf.printf
+        "  resilience: %d engine errors (fail-closed), %d degraded peak-rate \
+         decisions\n"
+        r.errors r.degraded
   in
   report "oc3" backbone
     (Cac.Workload.run engine ~link:"oc3" backbone (Numerics.Rng.split rng));
@@ -72,4 +98,27 @@ let () =
   Printf.printf "engine: cache %d entries, %d hits / %d misses (%.1f%% hit rate)\n"
     stats.Cac.Decision_cache.entries stats.Cac.Decision_cache.hits
     stats.Cac.Decision_cache.misses
-    (100.0 *. Cac.Decision_cache.hit_rate stats)
+    (100.0 *. Cac.Decision_cache.hit_rate stats);
+  if Resilience.Fault.active () then begin
+    Printf.printf
+      "guard:  %d faults injected, %d retries, %d peak-rate fallbacks, %d \
+       breaker trips\n"
+      (Resilience.Fault.injected_total ())
+      (Obs.Registry.counter_value "cac.guard.retries")
+      (Resilience.Guard.fallbacks ())
+      (Obs.Registry.counter_value "cac.guard.breaker_trips");
+    List.iter
+      (fun link ->
+        List.iter
+          (fun cls ->
+            match
+              Cac.Engine.breaker_state engine ~link:(Cac.Link.id link) ~cls
+            with
+            | None -> ()
+            | Some state ->
+                Printf.printf "guard:  breaker %s/%s: %s\n" (Cac.Link.id link)
+                  cls.Cac.Source_class.name
+                  (Resilience.Guard.Breaker.state_name state))
+          [ z; dar3; dar1 ])
+      (Cac.Engine.links engine)
+  end

@@ -84,6 +84,11 @@ let find_or_add t key ~compute =
   | None ->
       t.misses <- t.misses + 1;
       Obs.Registry.Counter.incr t.c_misses;
+      (* Fault hook, then the real computation.  Either raising leaves
+         the cache untouched — the miss is counted but no entry is
+         inserted, so a failed compute can never poison the key: the
+         next lookup recomputes. *)
+      Resilience.Fault.inject "cac.cache.compute";
       let value = compute () in
       if t.cap > 0 then begin
         if Hashtbl.length t.table >= t.cap then evict_lru t;

@@ -1,3 +1,5 @@
+module Guard = Resilience.Guard
+
 type key =
   | Bop of { cls : string; b : float; c : float; n : int }
   | Eff_bw of { cls : string; total_buffer : float; target_clr : float; n : int }
@@ -17,10 +19,17 @@ type t = {
   cache : (key, float) Decision_cache.t;
   metrics : Metrics.t;
   clock : unit -> float;
+  (* One circuit breaker per (link, class) pair, created on first
+     kernel failure path use; see [breaker]. *)
+  breakers : (string, Guard.Breaker.t) Hashtbl.t;
+  max_retries : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
   mutable next_conn : int;
 }
 
 type reject_reason = Unstable | Clr_exceeded
+
 type decision = Admitted of int | Rejected of reject_reason
 
 type verdict = {
@@ -28,9 +37,14 @@ type verdict = {
   reason : reject_reason option;
   log10_bop : float option;
   required_bw : float option;
+  degraded : bool;
 }
 
-let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) () =
+let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) ?(max_retries = 1)
+    ?(breaker_threshold = 5) ?(breaker_cooldown = 32) () =
+  if max_retries < 0 then invalid_arg "Engine.create: max_retries < 0";
+  if breaker_threshold < 1 then invalid_arg "Engine.create: breaker_threshold < 1";
+  if breaker_cooldown < 0 then invalid_arg "Engine.create: breaker_cooldown < 0";
   {
     links = Hashtbl.create 8;
     link_telemetry = Hashtbl.create 8;
@@ -38,6 +52,10 @@ let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) () =
     cache = Decision_cache.create ~capacity:cache_capacity;
     metrics = Metrics.create ();
     clock;
+    breakers = Hashtbl.create 16;
+    max_retries;
+    breaker_threshold;
+    breaker_cooldown;
     next_conn = 0;
   }
 
@@ -76,31 +94,111 @@ let link_telemetry t id = Hashtbl.find_opt t.link_telemetry id
 
 let remove_link t id =
   let _ = link t id in
-  Hashtbl.remove t.links id;
-  Hashtbl.remove t.link_telemetry id;
   let stale =
     Hashtbl.fold
       (fun conn (l, _) acc -> if Link.id l = id then conn :: acc else acc)
       t.conns []
   in
-  List.iter (Hashtbl.remove t.conns) stale
+  (* Stale connections are torn down, not leaked: each counts as a
+     release in the engine metrics and the link's registry series, so
+     active-connection accounting stays exact across link removal. *)
+  List.iter
+    (fun conn ->
+      Hashtbl.remove t.conns conn;
+      Metrics.record_release t.metrics)
+    stale;
+  (match Hashtbl.find_opt t.link_telemetry id with
+  | Some tel ->
+      if stale <> [] then
+        Obs.Registry.Counter.incr ~by:(List.length stale) tel.t_releases;
+      Obs.Registry.Gauge.set tel.t_connections 0.0
+  | None -> ());
+  Hashtbl.remove t.links id;
+  Hashtbl.remove t.link_telemetry id;
+  let prefix = id ^ "/" in
+  let dead =
+    Hashtbl.fold
+      (fun key _ acc ->
+        if String.starts_with ~prefix key then key :: acc else acc)
+      t.breakers []
+  in
+  List.iter (Hashtbl.remove t.breakers) dead
 
 (* {2 Decision primitives, memoised} *)
 
+(* The finiteness check lives {e inside} the compute closure: a kernel
+   returning NaN/inf raises before [find_or_add] can insert the entry,
+   so numeric corruption can never poison the cache — a retry
+   recomputes instead of replaying the bad value. *)
 let cached_log10_bop t (cls : Source_class.t) ~b ~c ~n =
   Decision_cache.find_or_add t.cache
     (Bop { cls = cls.Source_class.name; b; c; n })
     ~compute:(fun () ->
-      (Core.Bahadur_rao.evaluate cls.Source_class.vg
-         ~mu:(Source_class.mean cls) ~c ~b ~n)
-        .Core.Bahadur_rao.log10_bop)
+      Resilience.Guard.finite ~label:"cac.engine.log10_bop"
+        (Core.Bahadur_rao.evaluate cls.Source_class.vg
+           ~mu:(Source_class.mean cls) ~c ~b ~n)
+          .Core.Bahadur_rao.log10_bop)
 
 let cached_eff_bw t (cls : Source_class.t) ~total_buffer ~target_clr ~n =
   Decision_cache.find_or_add t.cache
     (Eff_bw { cls = cls.Source_class.name; total_buffer; target_clr; n })
     ~compute:(fun () ->
-      Core.Admission.effective_bandwidth_per_source cls.Source_class.vg
-        ~mu:(Source_class.mean cls) ~n ~total_buffer ~target_clr)
+      Resilience.Guard.finite ~label:"cac.engine.eff_bw"
+        (Core.Admission.effective_bandwidth_per_source cls.Source_class.vg
+           ~mu:(Source_class.mean cls) ~n ~total_buffer ~target_clr))
+
+(* {2 Containment}
+
+   Every kernel evaluation runs behind the (link, class) circuit
+   breaker, with bounded retry inside it and a finiteness check on the
+   result: a kernel that raises, stalls out its retries, or returns
+   NaN/inf registers as a breaker failure, and the decision falls back
+   to peak-rate allocation — fail-closed, never fail-open. *)
+
+let breaker t ~link_id ~(cls : Source_class.t) =
+  let key = link_id ^ "/" ^ cls.Source_class.name in
+  match Hashtbl.find_opt t.breakers key with
+  | Some b -> b
+  | None ->
+      let b =
+        Guard.Breaker.create ~threshold:t.breaker_threshold
+          ~cooldown:t.breaker_cooldown ~label:key ()
+      in
+      Hashtbl.replace t.breakers key b;
+      b
+
+let breaker_state t ~link:link_id ~cls =
+  Option.map Guard.Breaker.state
+    (Hashtbl.find_opt t.breakers (link_id ^ "/" ^ cls.Source_class.name))
+
+let kernel_value t ~link_id ~cls f =
+  Guard.Breaker.call (breaker t ~link_id ~cls) (fun () ->
+      Guard.retry ~max_retries:t.max_retries ~label:"cac.engine.kernel"
+        (fun () -> Guard.finite ~label:"cac.engine.kernel" (f ())))
+
+(* The fail-closed fallback: price every connection of the candidate
+   mix at its class's peak-rate proxy.  Deliberately independent of
+   the variance-growth tables and iterative numerics — the degraded
+   test must keep working when exactly those are broken. *)
+let peak_required counts =
+  List.fold_left
+    (fun acc (c, n) -> acc +. (float_of_int n *. Source_class.peak c))
+    0.0 counts
+
+let degraded_verdict link counts =
+  Guard.record_fallback ();
+  let required = peak_required counts in
+  (* [required] is finite by construction (class means/variances are
+     validated at model build time); the comparison direction still
+     rejects if it were not. *)
+  let ok = required <= Link.capacity link in
+  {
+    admissible = ok;
+    reason = (if ok then None else Some Clr_exceeded);
+    log10_bop = None;
+    required_bw = Some required;
+    degraded = true;
+  }
 
 (* The candidate mix: the link's counts with one more [cls]. *)
 let candidate_counts link ~cls =
@@ -132,39 +230,52 @@ let evaluate t ~link:link_id ~cls =
       reason = Some Unstable;
       log10_bop = None;
       required_bw = None;
+      degraded = false;
     }
   else begin
     match counts with
-    | [ (only, n) ] ->
+    | [ (only, n) ] -> (
         let nf = float_of_int n in
-        let bop =
-          cached_log10_bop t only ~b:(Link.buffer link /. nf)
-            ~c:(capacity /. nf) ~n
-        in
-        let ok = bop <= log10 (Link.target_clr link) in
-        {
-          admissible = ok;
-          reason = (if ok then None else Some Clr_exceeded);
-          log10_bop = Some bop;
-          required_bw = None;
-        }
-    | mix ->
-        let required =
-          List.fold_left
-            (fun acc (c, n) ->
-              acc
-              +. float_of_int n
-                 *. cached_eff_bw t c ~total_buffer:(Link.buffer link)
+        match
+          kernel_value t ~link_id ~cls:only (fun () ->
+              cached_log10_bop t only ~b:(Link.buffer link /. nf)
+                ~c:(capacity /. nf) ~n)
+        with
+        | Ok bop ->
+            let ok = bop <= log10 (Link.target_clr link) in
+            {
+              admissible = ok;
+              reason = (if ok then None else Some Clr_exceeded);
+              log10_bop = Some bop;
+              required_bw = None;
+              degraded = false;
+            }
+        | Error _ -> degraded_verdict link counts)
+    | mix -> (
+        let rec total acc = function
+          | [] -> Some acc
+          | (c, n) :: rest -> (
+              match
+                kernel_value t ~link_id ~cls:c (fun () ->
+                    cached_eff_bw t c ~total_buffer:(Link.buffer link)
                       ~target_clr:(Link.target_clr link) ~n)
-            0.0 mix
+              with
+              | Ok eb -> total (acc +. (float_of_int n *. eb)) rest
+              | Error _ -> None)
         in
-        let ok = required <= capacity in
-        {
-          admissible = ok;
-          reason = (if ok then None else Some Clr_exceeded);
-          log10_bop = None;
-          required_bw = Some required;
-        }
+        match total 0.0 mix with
+        | Some required ->
+            let ok = required <= capacity in
+            {
+              admissible = ok;
+              reason = (if ok then None else Some Clr_exceeded);
+              log10_bop = None;
+              required_bw = Some required;
+              degraded = false;
+            }
+        (* Any class's kernel failing degrades the whole decision:
+           pricing part of a mix optimistically would fail open. *)
+        | None -> degraded_verdict link counts)
   end
 
 let would_admit t ~link ~cls = (evaluate t ~link ~cls).admissible
@@ -173,19 +284,31 @@ let admit t ~link:link_id ~cls =
   let started = t.clock () in
   let verdict = evaluate t ~link:link_id ~cls in
   let tel = link_telemetry t link_id in
+  if verdict.degraded then Metrics.record_fallback t.metrics;
   if verdict.admissible then begin
     let l = link t link_id in
+    (* Mutations are ordered so any late exception unwinds cleanly:
+       the connection table entry goes in last, and a failure after
+       [Link.add] rolls the link state back before re-raising — no
+       half-admitted connection can survive. *)
     Link.add l ~cls;
-    let conn = t.next_conn in
-    t.next_conn <- conn + 1;
-    Hashtbl.replace t.conns conn (l, cls);
-    Metrics.record_admit t.metrics ~latency:(t.clock () -. started);
-    (match tel with
-    | Some tel ->
-        Obs.Registry.Counter.incr tel.t_admits;
-        Obs.Registry.Gauge.add tel.t_connections 1.0
-    | None -> ());
-    Admitted conn
+    match
+      let conn = t.next_conn in
+      t.next_conn <- conn + 1;
+      Hashtbl.replace t.conns conn (l, cls);
+      conn
+    with
+    | conn ->
+        Metrics.record_admit t.metrics ~latency:(t.clock () -. started);
+        (match tel with
+        | Some tel ->
+            Obs.Registry.Counter.incr tel.t_admits;
+            Obs.Registry.Gauge.add tel.t_connections 1.0
+        | None -> ());
+        Admitted conn
+    | exception exn ->
+        Link.remove l ~cls;
+        raise exn
   end
   else begin
     Metrics.record_reject t.metrics ~latency:(t.clock () -. started);

@@ -32,9 +32,29 @@
     Bahadur–Rao evaluation under key [(class, b, c-per-source, n)] and
     the effective bandwidth under [(class, B, clr, n)].  Since an
     engine's reachable state space is small and heavily revisited,
-    steady-state decisions are O(1) hash lookups.
+    steady-state decisions are O(1) hash lookups.  A kernel result
+    that is NaN or infinite is {e never} inserted — the failed compute
+    raises first, so retries recompute instead of replaying corruption.
 
-    Engines are single-domain: share nothing across [Domain.spawn]
+    {2 Fail-closed degradation}
+
+    Admission at CLR <= 1e-6 is a safety property: the test must never
+    silently fail {e open}.  Every kernel evaluation therefore runs
+    behind a per-(link, class) {!Resilience.Guard.Breaker} with
+    bounded retry inside it.  A kernel that raises, exhausts its
+    retries, or returns a non-finite value counts as a breaker
+    failure, and the decision {e degrades} to peak-rate allocation:
+    the candidate mix is admitted only if
+    [sum n_k * peak_k <= C], with [peak_k] the class's
+    {!Source_class.peak} proxy — cruder and strictly more conservative
+    in spirit, and independent of the numerics that just failed.
+    After [breaker_threshold] consecutive failures the breaker opens
+    and decisions skip the kernel entirely for [breaker_cooldown]
+    calls, then a half-open probe retries it; recovery closes the
+    breaker.  Degraded verdicts carry [degraded = true] and tick
+    [cac.guard.fallbacks].
+
+    {2 Engines are single-domain}: share nothing across [Domain.spawn]
     (see {!Sweep}). *)
 
 type t
@@ -49,16 +69,33 @@ type verdict = {
   admissible : bool;
   reason : reject_reason option;
   log10_bop : float option;
-      (** Bahadur–Rao log10 BOP of the candidate mix (homogeneous path) *)
+      (** Bahadur–Rao log10 BOP of the candidate mix (homogeneous
+          path, kernel healthy) *)
   required_bw : float option;
       (** total effective bandwidth of the candidate mix, cells/frame
-          (heterogeneous path) *)
+          (heterogeneous path) — or the total {e peak-rate} allocation
+          when [degraded] *)
+  degraded : bool;
+      (** the Bahadur–Rao/effective-bandwidth kernel was unavailable
+          (exception, non-finite result, or open breaker) and the
+          decision fell back to peak-rate allocation *)
 }
 
-val create : ?cache_capacity:int -> ?clock:(unit -> float) -> unit -> t
+val create :
+  ?cache_capacity:int ->
+  ?clock:(unit -> float) ->
+  ?max_retries:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:int ->
+  unit ->
+  t
 (** [cache_capacity] bounds the decision cache (default 4096; 0
     disables caching).  [clock] supplies wall-clock seconds for latency
-    metrics (default [Unix.gettimeofday]). *)
+    metrics (default {!Obs.Clock.wall}).  [max_retries] (default 1)
+    bounds kernel re-attempts per decision; [breaker_threshold]
+    (default 5) is the consecutive-failure trip point and
+    [breaker_cooldown] (default 32) the number of fast-failed
+    decisions before a half-open probe. *)
 
 val add_link :
   t -> id:string -> capacity:float -> buffer:float -> target_clr:float -> Link.t
@@ -74,7 +111,10 @@ val add_link_msec :
 (** Same, with the buffer given as a maximum drain delay in msec. *)
 
 val remove_link : t -> string -> unit
-(** Drop a link and all its connections. *)
+(** Drop a link, all its connections, and its circuit breakers.  Every
+    stale connection is accounted as a release (engine metrics and the
+    link's registry series), so active-connection accounting stays
+    exact. *)
 
 val link : t -> string -> Link.t
 (** Raises [Invalid_argument] on unknown ids. *)
@@ -83,13 +123,17 @@ val links : t -> Link.t list
 
 val evaluate : t -> link:string -> cls:Source_class.t -> verdict
 (** The admission decision for one more [cls] connection, without
-    mutating anything (not even metrics). *)
+    mutating link or connection state (or instance metrics).  It {e
+    does} advance resilience state: breaker counters, and the
+    [cac.guard.*] / [cac.fault.*] telemetry. *)
 
 val would_admit : t -> link:string -> cls:Source_class.t -> bool
 
 val admit : t -> link:string -> cls:Source_class.t -> decision
-(** Decide, record metrics (including decision latency), and on
-    success establish the connection. *)
+(** Decide, record metrics (including decision latency and degraded
+    fallbacks), and on success establish the connection.
+    Exception-safe: if anything raises mid-admission the link and
+    connection tables are left exactly as before the call. *)
 
 val release : t -> conn:int -> unit
 (** Raises [Invalid_argument] for unknown connection ids. *)
@@ -102,6 +146,11 @@ val fill : t -> link:string -> cls:Source_class.t -> int
 (** Admit [cls] connections until the first rejection; returns how many
     were admitted by this call.  With an empty homogeneous link this
     reproduces {!Core.Admission.max_admissible}. *)
+
+val breaker_state :
+  t -> link:string -> cls:Source_class.t -> Resilience.Guard.Breaker.state option
+(** The (link, class) circuit breaker's state; [None] until the pair's
+    first kernel evaluation. *)
 
 val metrics : t -> Metrics.t
 val cache_stats : t -> Decision_cache.stats

@@ -19,6 +19,7 @@ type t = {
   mutable admits : int;
   mutable rejects : int;
   mutable releases : int;
+  mutable fallbacks : int;  (* degraded (peak-rate) decisions *)
   histogram : Stats.Histogram.t;  (* microseconds *)
   mutable samples : float array;  (* microseconds *)
   mutable n_samples : int;
@@ -43,6 +44,7 @@ let create () =
     admits = 0;
     rejects = 0;
     releases = 0;
+    fallbacks = 0;
     histogram;
     samples = Array.make 1024 0.0;
     n_samples = 0;
@@ -82,9 +84,15 @@ let record_release t =
   t.releases <- t.releases + 1;
   Obs.Registry.Counter.incr t.c_releases
 
+(* The registry-side tick ([cac.guard.fallbacks]) is recorded by
+   Resilience.Guard at the decision site; this keeps only the
+   per-instance view. *)
+let record_fallback t = t.fallbacks <- t.fallbacks + 1
+
 let admits t = t.admits
 let rejects t = t.rejects
 let releases t = t.releases
+let fallbacks t = t.fallbacks
 let decisions t = t.admits + t.rejects
 
 let blocking_probability t =
@@ -107,6 +115,10 @@ let print ?sink ?(label = "cac") t =
   let sink = match sink with Some s -> s | None -> Obs.Sink.human_sink () in
   Obs.Sink.messagef sink "%s: %d admits, %d rejects, %d releases (blocking %.4f)"
     label t.admits t.rejects t.releases (blocking_probability t);
+  if t.fallbacks > 0 then
+    Obs.Sink.messagef sink
+      "%s: %d degraded decisions (peak-rate fallback, fail-closed)" label
+      t.fallbacks;
   if t.n_samples > 0 then begin
     match latency_ci_us t with
     | Some ci ->

@@ -20,9 +20,17 @@ val record_admit : t -> latency:float -> unit
 val record_reject : t -> latency:float -> unit
 val record_release : t -> unit
 
+val record_fallback : t -> unit
+(** Count one degraded (peak-rate, fail-closed) decision.  Instance
+    view only: the process-wide [cac.guard.fallbacks] counter is
+    ticked by {!Resilience.Guard} at the decision site. *)
+
 val admits : t -> int
 val rejects : t -> int
 val releases : t -> int
+
+val fallbacks : t -> int
+(** Degraded decisions recorded on this instance. *)
 
 val decisions : t -> int
 (** [admits + rejects]. *)

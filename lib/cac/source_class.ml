@@ -63,3 +63,11 @@ let of_name_exn name =
            name (String.concat ", " names))
 
 let mean t = t.process.Traffic.Process.mean
+
+(* The fail-closed allocation unit: mean + 3 sigma of the frame-size
+   marginal.  It must not depend on the variance-growth table or any
+   iterative numerics — those are exactly what the degraded path
+   assumes broken. *)
+let peak t =
+  t.process.Traffic.Process.mean
+  +. (3.0 *. sqrt t.process.Traffic.Process.variance)

@@ -40,3 +40,11 @@ val of_process : Traffic.Process.t -> t
 
 val mean : t -> float
 (** Mean frame size, cells/frame. *)
+
+val peak : t -> float
+(** The engineered peak-rate proxy, cells/frame: [mean + 3 * std] of
+    the frame-size marginal.  This is what the engine's fail-closed
+    degraded path allocates per connection when the Bahadur–Rao kernel
+    is unavailable — deliberately cruder and more conservative than
+    any buffer-aware test, and never dependent on the numerics that
+    just failed. *)

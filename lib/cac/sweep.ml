@@ -17,6 +17,9 @@ type row = {
   cache_hit_rate : float option;
 }
 
+type failure = { scenario : scenario; error : string; attempts : int }
+type outcome = Row of row | Failed of failure
+
 let grid ?(capacity = 16140.0) ?(requests = 0) ?(load_factor = 1.1)
     ?(seed = 1996) ~class_names ~buffers_msec ~target_clrs () =
   let scenarios = ref [] in
@@ -50,7 +53,9 @@ let grid ?(capacity = 16140.0) ?(requests = 0) ?(load_factor = 1.1)
    the histogram shape without declaring unlabelled zero series. *)
 let () =
   Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:2_000_000.0 ~bins:80
-    "cac.sweep.task_us"
+    "cac.sweep.task_us";
+  Obs.Registry.declare_counter "cac.sweep.task_errors";
+  Obs.Registry.declare_counter "cac.sweep.task_retries"
 
 let evaluate scenario =
   (* Everything domain-local: fresh class (private variance-growth
@@ -118,8 +123,40 @@ let evaluate_instrumented ~worker scenario =
     (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
   row
 
-let run ?domains scenarios =
+(* One task, crash-proof: the fault stream is re-armed from the
+   scenario seed (so faults are deterministic whatever domain claims
+   the task), the [cac.sweep.task] injection point may kill the
+   attempt, and any exception — injected or organic — is caught and
+   retried up to [task_retries] times before the scenario is returned
+   as a [Failed] outcome instead of crashing the worker domain. *)
+let evaluate_protected ~task_retries ~worker scenario =
+  Resilience.Fault.reseed scenario.seed;
+  let rec go attempt =
+    match
+      Resilience.Fault.inject "cac.sweep.task";
+      evaluate_instrumented ~worker scenario
+    with
+    | row -> Row row
+    | exception ((Out_of_memory | Stack_overflow) as exn) -> raise exn
+    | exception exn ->
+        Obs.Registry.incr "cac.sweep.task_errors";
+        if attempt < task_retries then begin
+          Obs.Registry.incr "cac.sweep.task_retries";
+          go (attempt + 1)
+        end
+        else
+          Failed
+            {
+              scenario;
+              error = Printexc.to_string exn;
+              attempts = attempt + 1;
+            }
+  in
+  go 0
+
+let run ?domains ?(task_retries = 1) scenarios =
   Obs.Span.with_ ~name:"cac.sweep.run" @@ fun () ->
+  if task_retries < 0 then invalid_arg "Sweep.run: task_retries < 0";
   let scenarios = Array.of_list scenarios in
   let n = Array.length scenarios in
   let domains =
@@ -132,7 +169,8 @@ let run ?domains scenarios =
   let rows = Array.make n None in
   if domains <= 1 then
     Array.iteri
-      (fun i s -> rows.(i) <- Some (evaluate_instrumented ~worker:0 s))
+      (fun i s ->
+        rows.(i) <- Some (evaluate_protected ~task_retries ~worker:0 s))
       scenarios
   else begin
     let next = Atomic.make 0 in
@@ -140,7 +178,8 @@ let run ?domains scenarios =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          rows.(i) <- Some (evaluate_instrumented ~worker:slot scenarios.(i));
+          rows.(i) <-
+            Some (evaluate_protected ~task_retries ~worker:slot scenarios.(i));
           loop ()
         end
       in
@@ -152,22 +191,56 @@ let run ?domains scenarios =
     worker 0 ();
     List.iter Domain.join spawned
   end;
-  Array.map (fun r -> Option.get r) rows
+  (* Every task is caught above, so every slot is filled; if a worker
+     domain nonetheless died, its unclaimed scenarios surface as
+     Failed rows rather than an Option.get crash losing the run. *)
+  Array.mapi
+    (fun i r ->
+      match r with
+      | Some outcome -> outcome
+      | None ->
+          Failed
+            {
+              scenario = scenarios.(i);
+              error = "task never completed (worker domain lost)";
+              attempts = 0;
+            })
+    rows
 
-let print_table rows =
+let rows outcomes =
+  Array.to_list outcomes
+  |> List.filter_map (function Row r -> Some r | Failed _ -> None)
+  |> Array.of_list
+
+let failures outcomes =
+  Array.to_list outcomes
+  |> List.filter_map (function Failed f -> Some f | Row _ -> None)
+
+let print_table outcomes =
   Obs.Sink.printf "%-8s %10s %8s %8s %6s %8s %9s %8s\n" "class" "buf_msec"
     "clr" "n_max" "util" "eff_bw" "blocking" "hit%";
   Array.iter
-    (fun row ->
-      let s = row.scenario in
-      Obs.Sink.printf "%-8s %10g %8.0e %8d %5.1f%% %8.1f %9s %8s\n" s.class_name
-        s.buffer_msec s.target_clr row.n_max
-        (100.0 *. row.utilization)
-        row.eff_bw
-        (match row.blocking with
-        | Some b -> Printf.sprintf "%.4f" b
-        | None -> "-")
-        (match row.cache_hit_rate with
-        | Some h -> Printf.sprintf "%.1f" (100.0 *. h)
-        | None -> "-"))
-    rows
+    (fun outcome ->
+      match outcome with
+      | Failed f ->
+          let s = f.scenario in
+          Obs.Sink.printf "%-8s %10g %8.0e %s\n" s.class_name s.buffer_msec
+            s.target_clr
+            (Printf.sprintf "ERROR after %d attempt%s: %s" f.attempts
+               (if f.attempts = 1 then "" else "s")
+               f.error)
+      | Row row ->
+          let s = row.scenario in
+          Obs.Sink.printf "%-8s %10g %8.0e %8d %5.1f%% %8s %9s %8s\n"
+            s.class_name s.buffer_msec s.target_clr row.n_max
+            (100.0 *. row.utilization)
+            (* n_max = 0 makes eff_bw meaningless (capacity / 0): render
+               a dash, not "inf". *)
+            (if row.n_max = 0 then "-" else Printf.sprintf "%.1f" row.eff_bw)
+            (match row.blocking with
+            | Some b -> Printf.sprintf "%.4f" b
+            | None -> "-")
+            (match row.cache_hit_rate with
+            | Some h -> Printf.sprintf "%.1f" (100.0 *. h)
+            | None -> "-"))
+    outcomes

@@ -10,7 +10,15 @@
     so a parallel run over OCaml 5 domains returns bit-identical rows
     to a sequential one.  Each scenario builds its own engine and
     {!Source_class.fresh} instance: variance-growth tables and decision
-    caches mutate on use and must never be shared across domains. *)
+    caches mutate on use and must never be shared across domains.
+
+    Sweeps are crash-proof: each task runs under a catch-and-retry
+    wrapper (and re-arms the {!Resilience.Fault} stream from its
+    scenario seed, so injected faults are deterministic whatever
+    domain claims the task).  A task that still fails after its
+    retries becomes a {!Failed} outcome carrying the error — one bad
+    scenario can no longer take down the whole run, and worker domains
+    never die on a task exception. *)
 
 type scenario = {
   class_name : string;  (** resolved per-domain via {!Source_class.fresh} *)
@@ -27,11 +35,21 @@ type row = {
   scenario : scenario;
   n_max : int;  (** connections admitted before the first rejection *)
   eff_bw : float;
-      (** capacity / n_max, cells/frame; [infinity] when [n_max = 0] *)
+      (** capacity / n_max, cells/frame; [infinity] when [n_max = 0]
+          (rendered as ["-"] by {!print_table}) *)
   utilization : float;  (** mean load over capacity at [n_max] *)
   blocking : float option;  (** steady-state, when a workload ran *)
   cache_hit_rate : float option;  (** steady-state, when a workload ran *)
 }
+
+type failure = {
+  scenario : scenario;
+  error : string;  (** [Printexc.to_string] of the last attempt's exception *)
+  attempts : int;  (** evaluation attempts made (retries included) *)
+}
+
+type outcome = Row of row | Failed of failure
+(** Exactly one outcome per input scenario, in input order. *)
 
 val grid :
   ?capacity:float ->
@@ -48,11 +66,21 @@ val grid :
     [requests = 0], [load_factor = 1.1], [seed = 1996].  Seeds are
     derived per scenario from [seed] and the scenario index. *)
 
-val run : ?domains:int -> scenario list -> row array
+val run : ?domains:int -> ?task_retries:int -> scenario list -> outcome array
 (** Evaluate every scenario, fanning across [domains] OCaml domains
     (default [Domain.recommended_domain_count], capped by the number
-    of scenarios; 1 means fully sequential).  Row order matches the
-    input order regardless of parallelism. *)
+    of scenarios; 1 means fully sequential).  Outcome order matches
+    the input order regardless of parallelism.  Each task that raises
+    is retried up to [task_retries] times (default 1) before becoming
+    a {!Failed} outcome; task errors and retries tick
+    [cac.sweep.task_errors] / [cac.sweep.task_retries]. *)
 
-val print_table : row array -> unit
-(** Aligned capacity-planning table on stdout. *)
+val rows : outcome array -> row array
+(** The successful rows, in input order. *)
+
+val failures : outcome array -> failure list
+(** The failed scenarios, in input order. *)
+
+val print_table : outcome array -> unit
+(** Aligned capacity-planning table on stdout; failed scenarios print
+    as [ERROR] rows, and [n_max = 0] cells render eff_bw as ["-"]. *)

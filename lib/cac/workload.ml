@@ -7,8 +7,10 @@ type spec = {
 }
 
 let spec ?(warmup = 0.2) ?(mean_holding = 60.0) ~arrival_rate ~requests ~mix () =
-  if not (arrival_rate > 0.0) then invalid_arg "Workload.spec: arrival_rate <= 0";
-  if not (mean_holding > 0.0) then invalid_arg "Workload.spec: mean_holding <= 0";
+  if not (arrival_rate > 0.0 && Float.is_finite arrival_rate) then
+    invalid_arg "Workload.spec: arrival_rate must be positive and finite";
+  if not (mean_holding > 0.0 && Float.is_finite mean_holding) then
+    invalid_arg "Workload.spec: mean_holding must be positive and finite";
   if requests < 1 then invalid_arg "Workload.spec: requests < 1";
   if mix = [] || List.exists (fun (_, w) -> not (w > 0.0)) mix then
     invalid_arg "Workload.spec: mix must be non-empty with positive weights";
@@ -22,6 +24,8 @@ type result = {
   offered : int;
   admitted : int;
   rejected : int;
+  errors : int;
+  degraded : int;
   blocking : float;
   steady_blocking : float;
   cache_hit_rate : float;
@@ -94,7 +98,8 @@ end
 
 let () =
   Obs.Registry.declare_counter "cac.workload.runs";
-  Obs.Registry.declare_counter "cac.workload.requests"
+  Obs.Registry.declare_counter "cac.workload.requests";
+  Obs.Registry.declare_counter "cac.workload.errors"
 
 let pick_class rng mix =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
@@ -113,7 +118,8 @@ let run engine ~link s rng =
   Obs.Registry.incr "cac.workload.runs";
   Obs.Registry.incr ~by:s.requests "cac.workload.requests";
   let departures = Heap.create () in
-  let admitted = ref 0 and rejected = ref 0 in
+  let admitted = ref 0 and rejected = ref 0 and errors = ref 0 in
+  let start_fallbacks = Metrics.fallbacks (Engine.metrics engine) in
   let warmup_boundary = int_of_float (s.warmup *. float_of_int s.requests) in
   let warm_rejected = ref 0 and warm_offered = ref 0 in
   let steady_cache_base = ref (Engine.cache_stats engine) in
@@ -152,15 +158,33 @@ let run engine ~link s rng =
     let holding = Numerics.Dist.exponential rng ~rate:(1.0 /. s.mean_holding) in
     let steady = request > warmup_boundary in
     if steady then incr warm_offered;
-    match Engine.admit engine ~link ~cls with
-    | Engine.Admitted conn ->
+    (* An engine failure mid-decision is contained here, fail-closed:
+       the request is counted as an error (not an admission), the
+       workload keeps draining — one bad decision must never kill a
+       million-request replay.  The [cac.workload.admit] point lets
+       chaos runs inject exactly that failure mode. *)
+    let decision =
+      match
+        Resilience.Fault.inject "cac.workload.admit";
+        Engine.admit engine ~link ~cls
+      with
+      | d -> Some d
+      | exception ((Out_of_memory | Stack_overflow) as exn) -> raise exn
+      | exception _ ->
+          incr errors;
+          Obs.Registry.incr "cac.workload.errors";
+          None
+    in
+    match decision with
+    | Some (Engine.Admitted conn) ->
         incr admitted;
         incr occupancy;
         peak := Stdlib.max !peak !occupancy;
         Heap.push departures (!now +. holding) conn
-    | Engine.Rejected _ ->
+    | Some (Engine.Rejected _) ->
         incr rejected;
         if steady then incr warm_rejected
+    | None -> if steady then incr warm_rejected
   done;
   let end_cache = Engine.cache_stats engine in
   let latencies = Metrics.latency_samples (Engine.metrics engine) in
@@ -172,7 +196,9 @@ let run engine ~link s rng =
     offered = s.requests;
     admitted = !admitted;
     rejected = !rejected;
-    blocking = float_of_int !rejected /. float_of_int s.requests;
+    errors = !errors;
+    degraded = Metrics.fallbacks (Engine.metrics engine) - start_fallbacks;
+    blocking = float_of_int (!rejected + !errors) /. float_of_int s.requests;
     steady_blocking =
       (if !warm_offered = 0 then 0.0
        else float_of_int !warm_rejected /. float_of_int !warm_offered);

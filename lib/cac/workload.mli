@@ -35,8 +35,16 @@ val offered_load : spec -> float
 type result = {
   offered : int;  (** connection attempts replayed *)
   admitted : int;
-  rejected : int;
-  blocking : float;  (** rejected / offered *)
+  rejected : int;  (** requests the engine decided to reject *)
+  errors : int;
+      (** requests on which the engine {e failed} mid-decision
+          (exception escaped {!Engine.admit}, or an armed
+          [cac.workload.admit] fault fired).  Counted fail-closed: the
+          connection is not admitted and the replay continues. *)
+  degraded : int;
+      (** decisions taken through the engine's peak-rate fallback
+          (the {!Metrics.fallbacks} delta across this run) *)
+  blocking : float;  (** (rejected + errors) / offered *)
   steady_blocking : float;  (** same, over the post-warm-up portion *)
   cache_hit_rate : float;  (** over the whole replay *)
   steady_cache_hit_rate : float;  (** over the post-warm-up portion *)
@@ -50,7 +58,13 @@ type result = {
 val run : Engine.t -> link:string -> spec -> Numerics.Rng.t -> result
 (** Replay [spec.requests] connection attempts against [link],
     releasing each admitted connection when its exponential holding
-    time expires.  The engine is used as-is (its cache may be warm). *)
+    time expires.  The engine is used as-is (its cache may be warm).
+
+    Crash-proof: an exception from an individual admission decision is
+    counted in [errors] (and [cac.workload.errors]) and the replay
+    continues — only [Out_of_memory]/[Stack_overflow] (or a failure
+    outside the per-request decision, e.g. an unknown [link])
+    propagate. *)
 
 val replicate :
   seed:int ->

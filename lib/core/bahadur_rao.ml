@@ -23,8 +23,13 @@ let evaluate vg ~mu ~c ~b ~n =
   Obs.Registry.Histogram.observe h_eval_us
     (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
   let nf = float_of_int n in
+  (* Fault-injection hook: when armed (chaos tests, --fault-spec) this
+     point can raise, stall, or corrupt the exponent to NaN — callers
+     above the engine boundary must contain all three (see
+     Resilience.Guard). *)
   let exponent_nats =
-    (-.nf *. cts.Cts.rate) -. (0.5 *. log (4.0 *. pi *. nf *. cts.Cts.rate))
+    Resilience.Fault.inject_float "bahadur_rao.evaluate" (fun () ->
+        (-.nf *. cts.Cts.rate) -. (0.5 *. log (4.0 *. pi *. nf *. cts.Cts.rate)))
   in
   let log10_bop = exponent_nats *. log10_e in
   { log10_bop; bop = exp exponent_nats; cts }

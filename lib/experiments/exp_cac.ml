@@ -12,7 +12,7 @@ let target_clr = 1e-6
 
 let requests () = Stdlib.min 10_000 (Common.frames ())
 
-let rows () =
+let outcomes () =
   Cac.Sweep.run
     (Cac.Sweep.grid ~capacity ~requests:(requests ()) ~seed:(Common.seed ())
        ~class_names ~buffers_msec ~target_clrs:[ target_clr ] ())
@@ -32,7 +32,7 @@ let figure rows =
           Common.series ~label:name
             (Array.of_list
                (List.filter_map
-                  (fun row ->
+                  (fun (row : Cac.Sweep.row) ->
                     if row.Cac.Sweep.scenario.Cac.Sweep.class_name = name then
                       Some
                         ( row.Cac.Sweep.scenario.Cac.Sweep.buffer_msec,
@@ -43,17 +43,27 @@ let figure rows =
   }
 
 let run () =
-  let rows = rows () in
+  let outcomes = outcomes () in
+  (* Without armed faults every scenario must produce a row; surface a
+     failed cell as a failed experiment rather than a silent gap. *)
+  (match Cac.Sweep.failures outcomes with
+  | [] -> ()
+  | f :: _ ->
+      failwith
+        (Printf.sprintf "cac sweep: scenario %s/%gms failed: %s"
+           f.Cac.Sweep.scenario.Cac.Sweep.class_name
+           f.Cac.Sweep.scenario.Cac.Sweep.buffer_msec f.Cac.Sweep.error));
+  let rows = Cac.Sweep.rows outcomes in
   Ascii_plot.emit (figure rows);
   Common.printf
     "\ncapacity-planning sweep (replayed %d connection attempts per cell):\n"
     (requests ());
-  Cac.Sweep.print_table rows;
+  Cac.Sweep.print_table outcomes;
   (* The paper's point, restated at the connection level: the Markov
      model prices LRD traffic correctly at practical buffers. *)
   let n_at name buffer =
     Array.to_list rows
-    |> List.find_map (fun row ->
+    |> List.find_map (fun (row : Cac.Sweep.row) ->
            let s = row.Cac.Sweep.scenario in
            if s.Cac.Sweep.class_name = name && s.Cac.Sweep.buffer_msec = buffer
            then Some row.Cac.Sweep.n_max

@@ -2,14 +2,21 @@
 
     [wall] is the civil timestamp stamped on events.  [monotonic_ns]
     is a per-domain non-decreasing nanosecond counter used for span
-    durations: derived from the wall clock but clamped so it never
+    durations: the real [CLOCK_MONOTONIC] where the platform provides
+    one (via a C stub), otherwise the wall clock clamped so it never
     runs backwards within a domain. *)
 
 val wall : unit -> float
 (** Seconds since the epoch ([Unix.gettimeofday]). *)
 
 val monotonic_ns : unit -> int64
-(** Nanoseconds, non-decreasing within the calling domain. *)
+(** Nanoseconds, non-decreasing within the calling domain.  Backed by
+    [clock_gettime(CLOCK_MONOTONIC)] when available ({!source}); the
+    epoch is unspecified — only differences are meaningful. *)
+
+val source : unit -> string
+(** Which backend [monotonic_ns] uses:
+    ["clock_gettime(CLOCK_MONOTONIC)"] or ["gettimeofday(clamped)"]. *)
 
 val elapsed_ns : since:int64 -> int64
 (** [monotonic_ns () - since]. *)

@@ -1,0 +1,37 @@
+/* Real CLOCK_MONOTONIC binding for Obs.Clock.
+
+   The OCaml side falls back to a clamped Unix.gettimeofday when the
+   platform offers no monotonic clock (cts_clock_monotonic_available
+   returns false), so these stubs must be safe to call anywhere. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#if defined(CLOCK_MONOTONIC)
+#define CTS_HAVE_MONOTONIC 1
+#else
+#define CTS_HAVE_MONOTONIC 0
+#endif
+
+CAMLprim value cts_clock_monotonic_available(value unit)
+{
+  (void)unit;
+#if CTS_HAVE_MONOTONIC
+  struct timespec ts;
+  return Val_bool(clock_gettime(CLOCK_MONOTONIC, &ts) == 0);
+#else
+  return Val_false;
+#endif
+}
+
+CAMLprim value cts_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+#if CTS_HAVE_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+#endif
+  return caml_copy_int64(0);
+}

@@ -1,0 +1,137 @@
+exception Budget_exhausted of string
+exception Non_finite of string
+
+let () =
+  Obs.Registry.declare_counter "cac.guard.caught";
+  Obs.Registry.declare_counter "cac.guard.fallbacks";
+  Obs.Registry.declare_counter "cac.guard.retries";
+  Obs.Registry.declare_counter "cac.guard.breaker_trips";
+  Obs.Registry.declare_counter "cac.guard.breaker_fast_fails";
+  Obs.Registry.declare_counter "cac.guard.breaker_probes";
+  Obs.Registry.declare_counter "cac.guard.breaker_recoveries"
+
+(* Handles are safe to share across domains: each domain resolves its
+   own shard cell (see Obs.Registry). *)
+let c_caught = Obs.Registry.Counter.v "cac.guard.caught"
+let c_fallbacks = Obs.Registry.Counter.v "cac.guard.fallbacks"
+let c_retries = Obs.Registry.Counter.v "cac.guard.retries"
+let c_trips = Obs.Registry.Counter.v "cac.guard.breaker_trips"
+let c_fast_fails = Obs.Registry.Counter.v "cac.guard.breaker_fast_fails"
+let c_probes = Obs.Registry.Counter.v "cac.guard.breaker_probes"
+let c_recoveries = Obs.Registry.Counter.v "cac.guard.breaker_recoveries"
+
+let finite ~label x = if Float.is_finite x then x else raise (Non_finite label)
+
+(* Never absorb asynchronous/resource exhaustion: containment must not
+   turn a dying process into a silently wrong one. *)
+let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
+
+let protect ~label:_ ~fallback f =
+  try f ()
+  with exn when not (fatal exn) ->
+    Obs.Registry.Counter.incr c_caught;
+    fallback exn
+
+let retry ?(max_retries = 1) ?(backoff_us = 0.0) ~label f =
+  if max_retries < 0 then invalid_arg (label ^ ": max_retries < 0");
+  let rec go attempt =
+    try f ()
+    with exn when (not (fatal exn)) && attempt < max_retries ->
+      Obs.Registry.Counter.incr c_retries;
+      if backoff_us > 0.0 then
+        Unix.sleepf (backoff_us *. (2.0 ** float_of_int attempt) *. 1e-6);
+      go (attempt + 1)
+  in
+  go 0
+
+let record_fallback () = Obs.Registry.Counter.incr c_fallbacks
+let fallbacks () = Obs.Registry.counter_value "cac.guard.fallbacks"
+
+module Budget = struct
+  type t = { label : string; limit : int; mutable spent : int }
+
+  let create ?(label = "budget") limit = { label; limit; spent = 0 }
+
+  let tick t =
+    if t.limit >= 0 && t.spent >= t.limit then raise (Budget_exhausted t.label);
+    t.spent <- t.spent + 1
+
+  let remaining t = if t.limit < 0 then max_int else Stdlib.max 0 (t.limit - t.spent)
+  let exhausted t = t.limit >= 0 && t.spent >= t.limit
+  let with_budget ?label limit f = f (create ?label limit)
+end
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+  type error = Tripped | Failed of exn
+
+  type t = {
+    threshold : int;
+    cooldown : int;
+    label : string;
+    mutable state : state;
+    mutable failures : int;  (* consecutive, while Closed *)
+    mutable remaining : int;  (* fast-fails left, while Open *)
+    mutable trips : int;
+  }
+
+  let create ?(threshold = 5) ?(cooldown = 64) ?(label = "breaker") () =
+    if threshold < 1 then invalid_arg (label ^ ": threshold < 1");
+    if cooldown < 0 then invalid_arg (label ^ ": cooldown < 0");
+    { threshold; cooldown; label; state = Closed; failures = 0; remaining = 0; trips = 0 }
+
+  let state t = t.state
+  let consecutive_failures t = t.failures
+  let trips t = t.trips
+
+  let state_name = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open"
+
+  let trip t =
+    t.state <- Open;
+    t.remaining <- t.cooldown;
+    t.trips <- t.trips + 1;
+    Obs.Registry.Counter.incr c_trips
+
+  let run_closed t f =
+    match f () with
+    | v ->
+        t.failures <- 0;
+        Ok v
+    | exception exn when not (fatal exn) ->
+        t.failures <- t.failures + 1;
+        if t.failures >= t.threshold then trip t;
+        Error (Failed exn)
+
+  let run_probe t f =
+    Obs.Registry.Counter.incr c_probes;
+    match f () with
+    | v ->
+        t.state <- Closed;
+        t.failures <- 0;
+        Obs.Registry.Counter.incr c_recoveries;
+        Ok v
+    | exception exn when not (fatal exn) ->
+        trip t;
+        Error (Failed exn)
+
+  let call t f =
+    match t.state with
+    | Closed -> run_closed t f
+    | Half_open -> run_probe t f
+    | Open ->
+        if t.remaining > 0 then begin
+          t.remaining <- t.remaining - 1;
+          Obs.Registry.Counter.incr c_fast_fails;
+          (* The cooldown just expired: the *next* call probes. *)
+          if t.remaining = 0 then t.state <- Half_open;
+          Error Tripped
+        end
+        else begin
+          (* cooldown = 0: probe immediately. *)
+          t.state <- Half_open;
+          run_probe t f
+        end
+end

@@ -1,0 +1,100 @@
+(** Containment combinators and circuit breakers: the policy half of
+    the resilience layer.
+
+    {!Fault} manufactures failures; this module bounds their blast
+    radius.  Everything here is deterministic — deadlines are
+    eval-count budgets, breaker cooldowns are decision counts — so
+    guarded runs replay bit-identically from a seed, unlike wall-clock
+    timeouts.
+
+    All counters land in {!Obs.Registry} under [cac.guard.*]:
+
+    - [cac.guard.caught] — exceptions absorbed by {!protect};
+    - [cac.guard.fallbacks] — degraded (fail-closed) decisions taken;
+    - [cac.guard.retries] — re-attempts made by {!retry};
+    - [cac.guard.breaker_trips] — Closed → Open transitions;
+    - [cac.guard.breaker_fast_fails] — calls short-circuited while Open;
+    - [cac.guard.breaker_probes] — Half-open trial calls;
+    - [cac.guard.breaker_recoveries] — Half-open → Closed transitions. *)
+
+exception Budget_exhausted of string
+(** Raised by {!Budget.tick} past the limit; payload is the label. *)
+
+exception Non_finite of string
+(** Raised by {!finite} on NaN or infinite kernel output, so numeric
+    corruption flows through the same containment path as a raise. *)
+
+val finite : label:string -> float -> float
+(** Identity on finite floats; raises {!Non_finite} otherwise. *)
+
+val protect : label:string -> fallback:(exn -> 'a) -> (unit -> 'a) -> 'a
+(** [protect ~label ~fallback f] runs [f ()], absorbing any exception
+    into [fallback exn] (and a [cac.guard.caught] tick).
+    [Out_of_memory] and [Stack_overflow] are never absorbed. *)
+
+val retry : ?max_retries:int -> ?backoff_us:float -> label:string -> (unit -> 'a) -> 'a
+(** [retry ~max_retries f] runs [f ()], re-running it up to
+    [max_retries] more times (default 1) if it raises; the last
+    exception propagates.  [backoff_us] (default 0) sleeps
+    [backoff_us * 2^attempt] microseconds between attempts — keep it 0
+    in deterministic replays. *)
+
+val record_fallback : unit -> unit
+(** Tick [cac.guard.fallbacks]; called by whoever takes a degraded
+    decision (the engine's fail-closed path). *)
+
+val fallbacks : unit -> int
+(** Merged [cac.guard.fallbacks] value across all domains. *)
+
+(** Deterministic deadlines: a budget of evaluation tickets, spent one
+    {!Budget.tick} at a time.  Wrap an iterative kernel's inner loop
+    with a budget to bound its work without consulting a clock. *)
+module Budget : sig
+  type t
+
+  val create : ?label:string -> int -> t
+  (** [create n] allows [n] ticks; [n < 0] is unlimited. *)
+
+  val tick : t -> unit
+  (** Spend one ticket; raises {!Budget_exhausted} when none remain. *)
+
+  val remaining : t -> int
+  val exhausted : t -> bool
+
+  val with_budget : ?label:string -> int -> (t -> 'a) -> 'a
+  (** [with_budget n f] is [f (create n)]. *)
+end
+
+(** A per-resource circuit breaker over a deterministic decision
+    counter.
+
+    - {b Closed}: calls run normally; [threshold] {e consecutive}
+      failures trip the breaker.
+    - {b Open}: calls fail fast ([Error Tripped]) for the next
+      [cooldown] calls — the caller degrades (fail-closed) instead of
+      hammering a broken kernel.
+    - {b Half-open}: after the cooldown, one call is let through as a
+      probe.  Success closes the breaker; failure re-opens it for
+      another cooldown. *)
+module Breaker : sig
+  type t
+  type state = Closed | Open | Half_open
+  type error = Tripped | Failed of exn
+
+  val create : ?threshold:int -> ?cooldown:int -> ?label:string -> unit -> t
+  (** Defaults: [threshold = 5] consecutive failures, [cooldown = 64]
+      fast-failed calls before the first probe. *)
+
+  val call : t -> (unit -> 'a) -> ('a, error) result
+  (** Run [f] under the breaker.  [Error Tripped] means the breaker
+      short-circuited the call; [Error (Failed exn)] means [f] ran and
+      raised (asynchronous exceptions — [Out_of_memory],
+      [Stack_overflow] — propagate instead). *)
+
+  val state : t -> state
+  val consecutive_failures : t -> int
+  val trips : t -> int
+
+  val state_name : state -> string
+  (** ["closed"], ["open"] or ["half-open"]. *)
+end

@@ -298,7 +298,9 @@ let test_sweep_parallel_equals_sequential () =
       match row.Cac.Sweep.cache_hit_rate with
       | Some h -> check_true "sweep replay hit rate sane" (h >= 0.0 && h <= 1.0)
       | None -> Alcotest.fail "sweep replay missing")
-    sequential
+    (Cac.Sweep.rows sequential);
+  check_int "no failed scenarios" 0
+    (List.length (Cac.Sweep.failures sequential))
 
 let test_sweep_grid_shape () =
   let scenarios =

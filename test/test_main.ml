@@ -28,6 +28,7 @@ let () =
       ("misc", Test_misc.suite);
       ("obs", Test_obs.suite);
       ("cac", Test_cac.suite);
+      ("resilience", Test_resilience.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
     ]
