@@ -123,6 +123,54 @@ let micro_tests () =
       (Staged.stage Obs.Clock.monotonic_ns);
     Test.make ~name:"obs_span_null_sink"
       (Staged.stage (fun () -> Obs.Span.with_ ~name:"bench.obs.span" Fun.id));
+    (* Serving layer: the per-request costs of the HTTP daemon.  The
+       parse bench round-trips one request through a socketpair per op
+       (write + buffered parse — the worker's actual read path); the
+       other two are the pure serialize and route steps. *)
+    (let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     let reader = Srv.Io.reader server in
+     let body = "{\"link\": \"oc3\", \"class\": \"dar1\"}" in
+     let raw =
+       Printf.sprintf "POST /v1/decide HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+         (String.length body) body
+     in
+     Test.make ~name:"srv_http_parse_roundtrip"
+       (Staged.stage (fun () ->
+            Srv.Io.write_string client raw;
+            match Srv.Http.read_request reader None with
+            | Srv.Http.Request _ -> ()
+            | _ -> failwith "bench request did not parse")));
+    (let resp =
+       Srv.Http.json
+         (Obs.Json.Obj
+            [
+              ("admissible", Obs.Json.Bool true);
+              ("log10_bop", Obs.Json.Float (-9.2));
+            ])
+     in
+     Test.make ~name:"srv_http_serialize"
+       (Staged.stage (fun () ->
+            ignore (Srv.Http.to_string ~keep_alive:true resp))));
+    (let router =
+       Srv.Router.create
+         [
+           Srv.Router.route Srv.Http.GET "/healthz" (fun _ ->
+               Srv.Http.text "ok");
+         ]
+     in
+     let req =
+       {
+         Srv.Http.meth = Srv.Http.GET;
+         target = "/healthz";
+         path = "/healthz";
+         query = [];
+         version = Srv.Http.Http_1_1;
+         headers = [];
+         body = "";
+       }
+     in
+     Test.make ~name:"srv_router_dispatch"
+       (Staged.stage (fun () -> ignore (Srv.Router.dispatch router req))));
   ]
 
 let run_micro () =

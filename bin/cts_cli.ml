@@ -40,6 +40,7 @@ type obs_opts = {
   metrics : Obs.Export.format option;
   metrics_out : string;
   trace : string option;
+  trace_sample : int option;
 }
 
 let obs_term =
@@ -62,9 +63,19 @@ let obs_term =
     let doc = "Stream span events to $(docv) as JSON lines while running." in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
+  let trace_sample_arg =
+    let doc =
+      "Emit only every $(docv)-th completion of each span name to the \
+       $(b,--trace) sink (1 = every span).  Span histograms still see \
+       everything; dropped events tick $(b,obs.span.sampled_out)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "trace-sample" ] ~docv:"N" ~doc)
+  in
   Term.(
-    const (fun metrics metrics_out trace -> { metrics; metrics_out; trace })
-    $ metrics_arg $ metrics_out_arg $ trace_arg)
+    const (fun metrics metrics_out trace trace_sample ->
+        { metrics; metrics_out; trace; trace_sample })
+    $ metrics_arg $ metrics_out_arg $ trace_arg $ trace_sample_arg)
 
 (* A bad --trace/--metrics-out path is a usage problem, not an
    internal error: report it cleanly instead of letting Sys_error
@@ -76,6 +87,12 @@ let open_out_or_die ~flag path =
     exit 1
 
 let with_obs opts f =
+  (match opts.trace_sample with
+  | None -> ()
+  | Some n when n >= 1 -> Obs.Span.set_sampling (Obs.Span.One_in n)
+  | Some n ->
+      Printf.eprintf "cts: --trace-sample must be >= 1 (got %d)\n%!" n;
+      exit 1);
   let trace_oc =
     Option.map (open_out_or_die ~flag:"--trace") opts.trace
   in
@@ -83,6 +100,7 @@ let with_obs opts f =
   | Some oc -> Obs.Span.set_trace_sink (Obs.Sink.Jsonl oc)
   | None -> ());
   let finish () =
+    if opts.trace_sample <> None then Obs.Span.reset_sampling ();
     (match trace_oc with
     | Some oc ->
         Obs.Span.set_trace_sink Obs.Sink.Null;
@@ -727,6 +745,165 @@ let cac_cmd =
        ~doc:"Online connection-admission-control engine (decide, replay, sweep)")
     [ cac_decide_cmd; cac_replay_cmd; cac_sweep_cmd ]
 
+(* {2 The serving daemon} *)
+
+(* "id=capacity:buffer_msec:clr", e.g. "oc3=16140:20:1e-6". *)
+let parse_link_spec s =
+  match String.index_opt s '=' with
+  | None -> None
+  | Some i -> (
+      let id = String.trim (String.sub s 0 i) in
+      let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+      match
+        String.split_on_char ':' rhs |> List.map float_of_string_opt
+      with
+      | [ Some capacity; Some buffer_msec; Some target_clr ]
+        when id <> "" && capacity > 0.0 && buffer_msec > 0.0
+             && target_clr > 0.0 && target_clr < 1.0 ->
+          Some (id, capacity, buffer_msec, target_clr)
+      | _ -> None)
+
+let serve_cmd =
+  let host_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "TCP port (0 picks an ephemeral port)." in
+    Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains draining the request queue." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Accepted connections queued before the server sheds with 503."
+    in
+    Arg.(value & opt int 128 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-request read deadline, seconds (0 disables)." in
+    Arg.(value & opt float 10.0 & info [ "read-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let max_body_arg =
+    let doc = "Largest accepted request body, bytes." in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-body" ] ~docv:"BYTES" ~doc)
+  in
+  let links_arg =
+    let doc =
+      "Link to serve, as $(i,id=capacity:buffer_msec:clr) (repeatable).  \
+       Default: the two links of examples/cac_server.ml."
+    in
+    Arg.(
+      value
+      & opt_all string [ "oc3=16140:20:1e-6"; "access=5380:10:1e-6" ]
+      & info [ "link" ] ~docv:"SPEC" ~doc)
+  in
+  let cache_arg =
+    let doc = "Decision-cache capacity (0 disables caching)." in
+    Arg.(value & opt int 4096 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let run host port domains queue read_timeout max_body links cache_capacity
+      max_retries fault_opts obs_opts =
+    with_obs obs_opts @@ fun () ->
+    with_faults fault_opts @@ fun () ->
+    let parsed = List.map parse_link_spec links in
+    if queue < 1 then `Error (false, "--queue-capacity must be >= 1")
+    else if max_body < 0 then `Error (false, "--max-body must be >= 0")
+    else if List.mem None parsed then
+      `Error
+        ( false,
+          "bad --link spec (want id=capacity:buffer_msec:clr, e.g. \
+           oc3=16140:20:1e-6)" )
+    else begin
+      let engine = Cac.Engine.create ~cache_capacity ~max_retries () in
+      List.iter
+        (fun spec ->
+          let id, capacity, buffer_msec, target_clr = Option.get spec in
+          ignore
+            (Cac.Engine.add_link_msec engine ~id ~capacity ~buffer_msec
+               ~target_clr))
+        parsed;
+      let api = Srv.Cac_api.create engine in
+      let config =
+        {
+          Srv.Pool.default_config with
+          domains =
+            (match domains with
+            | Some d -> d
+            | None -> Srv.Pool.default_config.Srv.Pool.domains);
+          queue_capacity = queue;
+          read_timeout_s =
+            (if read_timeout > 0.0 then Some read_timeout else None);
+          limits = { Srv.Http.default_limits with max_body };
+        }
+      in
+      match Srv.Pool.create ~config (Srv.Cac_api.router api) with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | pool -> (
+          match Srv.Pool.listen ~host ~port () with
+          | exception (Unix.Unix_error _ as e) ->
+              `Error
+                ( false,
+                  Printf.sprintf "cannot listen on %s:%d: %s" host port
+                    (Printexc.to_string e) )
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | listen_fd ->
+              (* Graceful drain: SIGTERM/SIGINT set the stop flag (one
+                 atomic write, signal-safe); the accept loop notices
+                 within a poll tick, queued requests are answered, the
+                 workers join, and serve returns for a clean exit 0. *)
+              let stop_signal _ = Srv.Pool.stop pool in
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+              Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+              Printf.printf
+                "cts serve: listening on %s:%d (%d domains, queue %d)\n" host
+                (Srv.Pool.bound_port listen_fd)
+                config.Srv.Pool.domains queue;
+              List.iter
+                (fun link ->
+                  Printf.printf
+                    "cts serve:   link %-7s %.0f cells/frame, buffer %.1f \
+                     msec, CLR <= %g\n"
+                    (Cac.Link.id link) (Cac.Link.capacity link)
+                    (Cac.Link.buffer_msec link) (Cac.Link.target_clr link))
+                (Srv.Cac_api.with_engine api Cac.Engine.links);
+              Printf.printf
+                "cts serve: POST /v1/decide /v1/admit /v1/release, GET \
+                 /metrics /healthz /breakers\n%!";
+              Srv.Pool.serve pool listen_fd;
+              (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+              let snap = Obs.Registry.snapshot () in
+              let counter name =
+                match
+                  List.assoc_opt (name, Obs.Labels.empty)
+                    snap.Obs.Registry.counters
+                with
+                | Some v -> v
+                | None -> 0
+              in
+              Printf.printf
+                "cts serve: drained; %d requests on %d connections (%d shed, \
+                 %d handler errors)\n"
+                (counter "srv.http.requests")
+                (counter "srv.http.connections")
+                (counter "srv.http.shed")
+                (counter "srv.http.handler_errors");
+              `Ok ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the admission-control engine as an HTTP daemon (Domain-parallel \
+          pool; see docs/server.md)")
+    Term.(
+      ret
+        (const run $ host_arg $ port_arg $ domains_arg $ queue_arg
+       $ read_timeout_arg $ max_body_arg $ links_arg $ cache_arg
+       $ max_retries_arg $ fault_term $ obs_term))
+
 (* {2 The obs command group} *)
 
 let obs_format_arg =
@@ -790,6 +967,7 @@ let main =
       admit_cmd;
       simulate_cmd;
       cac_cmd;
+      serve_cmd;
       obs_cmd;
     ]
 

@@ -45,6 +45,8 @@ let clr ~sources ~service_cells_per_frame ~buffer_cells ~ts ~frames ?warmup () =
   let state = { queue = 0; in_service = false; next_departure = 0.0 } in
   let offered = ref 0 and lost = ref 0 in
   let run_frame n ~count =
+    (* Same chaos hook as the fluid model: one draw per frame. *)
+    Resilience.Fault.inject "queueing.mux.step";
     let frame_start = float_of_int n *. ts in
     (* Gather this frame's arrivals from every source, equispaced with
        a half-slot offset so arrivals avoid the frame boundary. *)

@@ -6,7 +6,8 @@
     This is the paper's literal simulation model.  It costs O(cells log
     cells) per frame, so it is used to validate the fluid approximation
     ({!Fluid_mux}) at moderate scale rather than to run the full
-    experiment grid. *)
+    experiment grid.  Like {!Fluid_mux}, every simulated frame draws
+    the [queueing.mux.step] fault point once. *)
 
 type result = {
   clr : float;

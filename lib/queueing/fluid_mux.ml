@@ -22,6 +22,10 @@ let clr_multi ~next_frame ~service ~buffers ~frames ?warmup () =
   let lost = Array.make k 0.0 in
   let offered = ref 0.0 in
   for _ = 1 to warmup do
+    (* Chaos runs cover the offline validation path too: one armed
+       [queueing.mux.step] draw per simulated frame (no-op while the
+       fault registry is disarmed). *)
+    Resilience.Fault.inject "queueing.mux.step";
     let a = next_frame () in
     for i = 0 to k - 1 do
       let w', _ = finite_buffer_step ~w:w.(i) ~arrivals:a ~service ~buffer:buffers.(i) in
@@ -29,6 +33,7 @@ let clr_multi ~next_frame ~service ~buffers ~frames ?warmup () =
     done
   done;
   for _ = 1 to frames do
+    Resilience.Fault.inject "queueing.mux.step";
     let a = next_frame () in
     offered := !offered +. a;
     for i = 0 to k - 1 do

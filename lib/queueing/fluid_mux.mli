@@ -42,7 +42,10 @@ val clr :
   finite_result
 (** Cell loss rate of a finite-buffer multiplexer fed by
     [next_frame] aggregate frame sizes, after discarding [warmup]
-    frames (default [frames / 20]). *)
+    frames (default [frames / 20]).  Each simulated frame draws the
+    [queueing.mux.step] fault point once, so chaos specs cover the
+    offline validation path (a no-op while {!Resilience.Fault} is
+    disarmed). *)
 
 val clr_multi :
   next_frame:(unit -> float) ->

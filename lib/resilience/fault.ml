@@ -11,6 +11,8 @@ let known_points =
     ("cac.cache.compute", [ "raise"; "latency" ]);
     ("cac.workload.admit", [ "raise"; "latency" ]);
     ("cac.sweep.task", [ "raise"; "latency" ]);
+    ("queueing.mux.step", [ "raise"; "latency" ]);
+    ("srv.http.handler", [ "raise"; "latency" ]);
   ]
 
 let kind_name = function

@@ -6,9 +6,11 @@
     behaviour.  This module is how those failures are manufactured on
     demand: a process-wide registry of {b injection points} — named
     call sites threaded through {!Core.Bahadur_rao.evaluate},
-    {!Cac.Decision_cache.find_or_add}, {!Cac.Workload.run} and
-    {!Cac.Sweep.run} — each of which can be armed with raise, NaN or
-    latency faults at a given rate.
+    {!Cac.Decision_cache.find_or_add}, {!Cac.Workload.run},
+    {!Cac.Sweep.run}, the queueing simulators' per-frame step
+    ([queueing.mux.step]) and the HTTP serving pool's dispatch path
+    ([srv.http.handler]) — each of which can be armed with raise, NaN
+    or latency faults at a given rate.
 
     {2 Fault-spec grammar}
 

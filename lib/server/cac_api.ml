@@ -1,0 +1,177 @@
+(* The admission-control daemon's endpoint surface: a Router over a
+   Cac.Engine.  Engines are single-domain by contract, so every engine
+   call is serialized by one mutex — decisions are microseconds
+   (cached: a hash lookup), so the lock is never the bottleneck next
+   to socket I/O. *)
+
+type t = {
+  engine : Cac.Engine.t;
+  mutex : Mutex.t;
+  started_wall : float;
+}
+
+let create engine =
+  { engine; mutex = Mutex.create (); started_wall = Obs.Clock.wall () }
+
+let with_engine t f = Mutex.protect t.mutex (fun () -> f t.engine)
+
+(* {2 Request decoding} *)
+
+let body_json (req : Http.request) =
+  match Obs.Json.of_string req.Http.body with
+  | Some doc -> Ok doc
+  | None -> Stdlib.Error (Http.json_error ~status:400 "malformed JSON body")
+
+let string_field doc name =
+  match Obs.Json.member name doc with
+  | Some (Obs.Json.String s) -> Ok s
+  | Some _ ->
+      Stdlib.Error
+        (Http.json_error ~status:422
+           (Printf.sprintf "field %S must be a string" name))
+  | None ->
+      Stdlib.Error
+        (Http.json_error ~status:422 (Printf.sprintf "missing field %S" name))
+
+let int_field doc name =
+  match Obs.Json.member name doc with
+  | Some (Obs.Json.Int n) -> Ok n
+  | Some _ ->
+      Stdlib.Error
+        (Http.json_error ~status:422
+           (Printf.sprintf "field %S must be an integer" name))
+  | None ->
+      Stdlib.Error
+        (Http.json_error ~status:422 (Printf.sprintf "missing field %S" name))
+
+let ( let* ) r k = match r with Ok v -> k v | Stdlib.Error resp -> resp
+
+(* {"link": ..., "class": ...} — the decide/admit request schema. *)
+let link_class t req k =
+  let* doc = body_json req in
+  let* link = string_field doc "link" in
+  let* cls_name = string_field doc "class" in
+  match Cac.Source_class.of_name cls_name with
+  | None ->
+      Http.json_error ~status:404
+        (Printf.sprintf "unknown class %S (known: %s)" cls_name
+           (String.concat ", " Cac.Source_class.names))
+  | Some cls ->
+      if
+        not
+          (with_engine t (fun e ->
+               List.exists
+                 (fun l -> String.equal (Cac.Link.id l) link)
+                 (Cac.Engine.links e)))
+      then Http.json_error ~status:404 (Printf.sprintf "unknown link %S" link)
+      else k ~link ~cls
+
+(* {2 Encoding} *)
+
+let opt_float = function
+  | Some v -> Obs.Json.Float v
+  | None -> Obs.Json.Null
+
+let reason_json = function
+  | Some Cac.Engine.Unstable -> Obs.Json.String "unstable"
+  | Some Cac.Engine.Clr_exceeded -> Obs.Json.String "clr_exceeded"
+  | None -> Obs.Json.Null
+
+let verdict_json (v : Cac.Engine.verdict) =
+  Obs.Json.Obj
+    [
+      ("admissible", Obs.Json.Bool v.Cac.Engine.admissible);
+      ("degraded", Obs.Json.Bool v.Cac.Engine.degraded);
+      ("reason", reason_json v.Cac.Engine.reason);
+      ("log10_bop", opt_float v.Cac.Engine.log10_bop);
+      ("required_bw", opt_float v.Cac.Engine.required_bw);
+    ]
+
+(* {2 Handlers} *)
+
+let decide t req =
+  link_class t req @@ fun ~link ~cls ->
+  let verdict = with_engine t (fun e -> Cac.Engine.evaluate e ~link ~cls) in
+  Http.json (verdict_json verdict)
+
+let admit t req =
+  link_class t req @@ fun ~link ~cls ->
+  match with_engine t (fun e -> Cac.Engine.admit e ~link ~cls) with
+  | Cac.Engine.Admitted conn ->
+      Http.json
+        (Obs.Json.Obj
+           [ ("admitted", Obs.Json.Bool true); ("conn", Obs.Json.Int conn) ])
+  | Cac.Engine.Rejected reason ->
+      Http.json
+        (Obs.Json.Obj
+           [
+             ("admitted", Obs.Json.Bool false);
+             ("reason", reason_json (Some reason));
+           ])
+
+let release t req =
+  let* doc = body_json req in
+  let* conn = int_field doc "conn" in
+  match with_engine t (fun e -> Cac.Engine.release e ~conn) with
+  | () -> Http.json (Obs.Json.Obj [ ("released", Obs.Json.Bool true) ])
+  | exception Invalid_argument _ ->
+      Http.json_error ~status:404 (Printf.sprintf "unknown connection %d" conn)
+
+let healthz t _req =
+  let links, connections =
+    with_engine t (fun e ->
+        ( List.map (fun l -> Obs.Json.String (Cac.Link.id l)) (Cac.Engine.links e),
+          Cac.Engine.active_connections e ))
+  in
+  Http.json
+    (Obs.Json.Obj
+       [
+         ("status", Obs.Json.String "ok");
+         ("uptime_s", Obs.Json.Float (Obs.Clock.wall () -. t.started_wall));
+         ("links", Obs.Json.List links);
+         ("connections", Obs.Json.Int connections);
+       ])
+
+let breakers t _req =
+  let entries =
+    with_engine t (fun e ->
+        List.concat_map
+          (fun link ->
+            List.filter_map
+              (fun name ->
+                let cls = Cac.Source_class.of_name_exn name in
+                match
+                  Cac.Engine.breaker_state e ~link:(Cac.Link.id link) ~cls
+                with
+                | None -> None
+                | Some state ->
+                    Some
+                      (Obs.Json.Obj
+                         [
+                           ("link", Obs.Json.String (Cac.Link.id link));
+                           ("class", Obs.Json.String name);
+                           ( "state",
+                             Obs.Json.String
+                               (Resilience.Guard.Breaker.state_name state) );
+                         ]))
+              Cac.Source_class.names)
+          (Cac.Engine.links e))
+  in
+  Http.json (Obs.Json.Obj [ ("breakers", Obs.Json.List entries) ])
+
+let metrics _req =
+  Http.response
+    ~headers:[ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ]
+    ~status:200
+    (Obs.Export.prometheus (Obs.Registry.snapshot ()))
+
+let router t =
+  Router.create
+    [
+      Router.route Http.POST "/v1/decide" (decide t);
+      Router.route Http.POST "/v1/admit" (admit t);
+      Router.route Http.POST "/v1/release" (release t);
+      Router.route Http.GET "/metrics" metrics;
+      Router.route Http.GET "/healthz" (healthz t);
+      Router.route Http.GET "/breakers" (breakers t);
+    ]

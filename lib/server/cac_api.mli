@@ -1,0 +1,33 @@
+(** The admission-control daemon's endpoint surface.
+
+    Wraps a {!Cac.Engine.t} (single-domain by contract) behind one
+    mutex and exposes it as a {!Router.t}:
+
+    - [POST /v1/decide] — body [{"link": id, "class": name}]; answers
+      the non-mutating verdict
+      [{"admissible", "degraded", "reason", "log10_bop", "required_bw"}].
+    - [POST /v1/admit] — same body; on admission establishes the
+      connection and answers [{"admitted": true, "conn": id}], else
+      [{"admitted": false, "reason": ...}].
+    - [POST /v1/release] — body [{"conn": id}]; answers
+      [{"released": true}] or [404].
+    - [GET /metrics] — Prometheus text exposition of the whole
+      {!Obs.Registry} (the OpenMetrics scrape endpoint).
+    - [GET /healthz] — liveness: status, uptime, link ids, active
+      connection count.
+    - [GET /breakers] — every (link, class) circuit breaker that has
+      seen traffic, with its state.
+
+    Malformed JSON answers [400]; missing or mistyped fields answer
+    [422]; unknown links, classes and connections answer [404]. *)
+
+type t
+
+val create : Cac.Engine.t -> t
+
+val with_engine : t -> (Cac.Engine.t -> 'a) -> 'a
+(** Run [f] on the engine under the API mutex — for daemon code that
+    needs to touch the engine (setup, reporting) while the server is
+    live. *)
+
+val router : t -> Router.t

@@ -1,0 +1,30 @@
+(** Method + path request routing.
+
+    Routes are exact-path matches; dispatching an unknown path answers
+    [404], a known path with the wrong method answers [405] with an
+    [Allow] header.  {!dispatch} also returns the {e route label} used
+    for per-route telemetry: the matched path for known routes, the
+    single {!unmatched_label} bucket otherwise, so hostile paths
+    cannot explode metric label cardinality. *)
+
+type handler = Http.request -> Http.response
+type route
+type t
+
+val route : Http.meth -> string -> handler -> route
+(** Raises [Invalid_argument] unless the path starts with ['/']. *)
+
+val create : route list -> t
+(** Raises [Invalid_argument] on duplicate (method, path) pairs. *)
+
+val routes : t -> (Http.meth * string) list
+
+val unmatched_label : string
+(** ["unmatched"] — the telemetry bucket for 404s. *)
+
+val label : t -> Http.request -> string
+(** The route label {!dispatch} would report, without running any
+    handler. *)
+
+val dispatch : t -> Http.request -> string * Http.response
+(** [(route_label, response)]. *)

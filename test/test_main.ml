@@ -29,6 +29,7 @@ let () =
       ("obs", Test_obs.suite);
       ("cac", Test_cac.suite);
       ("resilience", Test_resilience.suite);
+      ("server", Test_server.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
     ]

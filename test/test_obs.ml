@@ -212,6 +212,76 @@ let test_span_trace_events () =
         (field "ok" inner = Bool true && field "ok" outer = Bool true)
   | _ -> Alcotest.fail "expected exactly two parsed events"
 
+(* {2 Trace sampling} *)
+
+(* Run [spans] completions of [name] under [policy] with a Jsonl trace
+   sink installed; returns how many trace lines were emitted. *)
+let emitted_under policy ~name ~spans =
+  let lines =
+    with_temp_jsonl (fun sink ->
+        Obs.Span.set_trace_sink sink;
+        Obs.Span.set_sampling ~name policy;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Span.set_trace_sink Obs.Sink.Null;
+            Obs.Span.reset_sampling ())
+          (fun () ->
+            for _ = 1 to spans do
+              Obs.Span.with_ ~name ignore
+            done))
+  in
+  List.length lines
+
+let test_span_sampling_one_in () =
+  let dropped_before = Obs.Registry.counter_value "obs.span.sampled_out" in
+  check_int "1-in-3 over 9 completions" 3
+    (emitted_under (Obs.Span.One_in 3) ~name:"test.sampled_one_in" ~spans:9);
+  check_int "six completions dropped" (dropped_before + 6)
+    (Obs.Registry.counter_value "obs.span.sampled_out");
+  (* sampling gates the trace sink only: every span is still timed *)
+  match Obs.Registry.histogram_snapshot "span.test.sampled_one_in.us" with
+  | Some s -> check_true "histogram saw all 9 spans" (s.count >= 9)
+  | None -> Alcotest.fail "sampled span histogram missing"
+
+let test_span_sampling_token_bucket () =
+  check_int "bucket of 2 with no refill" 2
+    (emitted_under
+       (Obs.Span.Token_bucket { capacity = 2; refill_per_s = 0.0 })
+       ~name:"test.sampled_bucket" ~spans:40)
+
+let test_span_sampling_scoping () =
+  Obs.Span.set_sampling ~name:"test.scoped" (Obs.Span.One_in 5);
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.reset_sampling ())
+    (fun () ->
+      check_true "named override applies"
+        (Obs.Span.sampling_for "test.scoped" = Obs.Span.One_in 5);
+      check_true "other names keep the default"
+        (Obs.Span.sampling_for "test.other" = Obs.Span.Always));
+  check_true "reset restores emit-everything"
+    (Obs.Span.sampling_for "test.scoped" = Obs.Span.Always);
+  (* spans with no sink installed never consult the sampler *)
+  let before = Obs.Registry.counter_value "obs.span.sampled_out" in
+  Obs.Span.set_sampling ~name:"test.scoped" (Obs.Span.One_in 2);
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.reset_sampling ())
+    (fun () ->
+      for _ = 1 to 8 do
+        Obs.Span.with_ ~name:"test.scoped" ignore
+      done);
+  check_int "no sink: sampler never consulted" before
+    (Obs.Registry.counter_value "obs.span.sampled_out")
+
+let test_span_sampling_validation () =
+  let rejected policy =
+    match Obs.Span.set_sampling ~name:"test.invalid" policy with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "invalid sampling policy accepted"
+  in
+  rejected (Obs.Span.One_in 0);
+  rejected (Obs.Span.Token_bucket { capacity = -1; refill_per_s = 1.0 });
+  rejected (Obs.Span.Token_bucket { capacity = 1; refill_per_s = Float.nan })
+
 (* {2 JSON round-trip} *)
 
 let test_json_roundtrip () =
@@ -321,6 +391,10 @@ let suite =
     case "span: nesting depth and names" test_span_nesting;
     case "span: closed on exception" test_span_exception_closes;
     case "span: JSON-lines trace events" test_span_trace_events;
+    case "span: 1-in-N trace sampling" test_span_sampling_one_in;
+    case "span: token-bucket trace sampling" test_span_sampling_token_bucket;
+    case "span: sampling scoping and reset" test_span_sampling_scoping;
+    case "span: sampling validation" test_span_sampling_validation;
     case "json: encode/parse round-trip" test_json_roundtrip;
     case "json: rejects malformed input" test_json_rejects_garbage;
     case "sink: jsonl message round-trip" test_jsonl_message_roundtrip;

@@ -399,6 +399,65 @@ let test_remove_link_accounting () =
   check_int "every stale connection accounted as a release"
     (Cac.Metrics.admits m) (Cac.Metrics.releases m)
 
+(* {2 Queueing simulator fault point}
+
+   Both multiplexer simulators draw [queueing.mux.step] once per
+   frame.  With a fixed seed, the frame on which the first fault fires
+   must be identical run after run — the chaos experiments over the
+   offline validation path are replayable. *)
+
+let test_mux_step_fault_deterministic () =
+  with_faults ~seed:42 "queueing.mux.step=raise:0.05" (fun () ->
+      let fluid_run () =
+        Resilience.Fault.reseed 42;
+        let frames_fed = ref 0 in
+        let next_frame () =
+          incr frames_fed;
+          if !frames_fed mod 7 = 0 then 120.0 else 95.0
+        in
+        match
+          Queueing.Fluid_mux.clr ~next_frame ~service:100.0 ~buffer:50.0
+            ~frames:500 ~warmup:0 ()
+        with
+        | _ -> (!frames_fed, "completed")
+        | exception Resilience.Fault.Injected point -> (!frames_fed, point)
+      in
+      let a = fluid_run () in
+      let b = fluid_run () in
+      check_true "fluid mux drew the fault point"
+        (snd a = "queueing.mux.step");
+      check_true "first fault fires on the same frame both runs" (a = b);
+      let cell_run () =
+        Resilience.Fault.reseed 42;
+        let frames_fed = ref 0 in
+        let source () =
+          incr frames_fed;
+          10.0
+        in
+        match
+          Queueing.Cell_mux.clr ~sources:[| source |]
+            ~service_cells_per_frame:9.0 ~buffer_cells:20 ~ts:0.01 ~frames:500
+            ~warmup:0 ()
+        with
+        | _ -> (!frames_fed, "completed")
+        | exception Resilience.Fault.Injected point -> (!frames_fed, point)
+      in
+      let c = cell_run () in
+      let d = cell_run () in
+      check_true "cell mux drew the fault point" (snd c = "queueing.mux.step");
+      check_true "cell mux replays identically" (c = d));
+  (* disarmed, the hook must cost nothing and change nothing *)
+  let r =
+    let n = ref 0 in
+    Queueing.Fluid_mux.clr
+      ~next_frame:(fun () ->
+        incr n;
+        if !n mod 7 = 0 then 120.0 else 95.0)
+      ~service:100.0 ~buffer:50.0 ~frames:500 ~warmup:0 ()
+  in
+  check_true "disarmed run completes with a sane CLR"
+    (Float.is_finite r.Queueing.Fluid_mux.clr && r.Queueing.Fluid_mux.clr >= 0.0)
+
 (* {2 Monotonic clock} *)
 
 let test_clock_monotonic () =
@@ -438,5 +497,7 @@ let suite =
     case "sweep table renders failures and no inf" test_sweep_table_renders_failures;
     case "remove_link keeps release accounting exact"
       test_remove_link_accounting;
+    case "mux step faults replay deterministically"
+      test_mux_step_fault_deterministic;
     case "monotonic clock" test_clock_monotonic;
   ]

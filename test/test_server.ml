@@ -1,0 +1,482 @@
+open Helpers
+open Srv
+
+(* {2 Plumbing}
+
+   Parser tests drive [Http.read_request] through a Unix-domain
+   socketpair — real fds, no network.  [Pool.serve_connection] closes
+   its own end, so double-closes here are absorbed. *)
+
+let check_str msg expected actual = Alcotest.(check string) msg expected actual
+
+let with_socketpair f =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      (try Unix.close server with Unix.Unix_error _ -> ()))
+    (fun () -> f client server)
+
+(* Feed [bytes] to the parser and return the result; the client end is
+   closed after writing so truncated inputs terminate with EOF. *)
+let parse ?limits bytes =
+  with_socketpair (fun client server ->
+      Io.write_string client bytes;
+      Unix.close client;
+      Http.read_request ?limits (Io.reader server) (Io.deadline_in 5.0))
+
+let parse_error_status ?limits bytes =
+  match parse ?limits bytes with
+  | Http.Error { status; _ } -> status
+  | Http.Request _ -> Alcotest.failf "parsed %S as a request" bytes
+  | Http.Eof -> Alcotest.failf "parsed %S as EOF" bytes
+
+(* Minimal HTTP client: read one response off [reader]. *)
+let read_response reader =
+  let dl = Io.deadline_in 10.0 in
+  let status =
+    match Io.read_line reader ~max:8192 dl with
+    | None -> Alcotest.fail "eof before status line"
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> Alcotest.failf "bad status line %S" line)
+  in
+  let rec headers acc =
+    match Io.read_line reader ~max:8192 dl with
+    | None -> Alcotest.fail "eof in headers"
+    | Some "" -> List.rev acc
+    | Some line -> (
+        match String.index_opt line ':' with
+        | None -> Alcotest.failf "bad header line %S" line
+        | Some i ->
+            headers
+              (( String.lowercase_ascii (String.sub line 0 i),
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)) )
+              :: acc))
+  in
+  let hs = headers [] in
+  let len =
+    match List.assoc_opt "content-length" hs with
+    | Some v -> int_of_string v
+    | None -> 0
+  in
+  (status, hs, Io.read_exact reader len dl)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let spin ?(tries = 2000) cond msg =
+  let rec go n =
+    if cond () then ()
+    else if n <= 0 then Alcotest.fail msg
+    else begin
+      Unix.sleepf 0.005;
+      go (n - 1)
+    end
+  in
+  go tries
+
+(* {2 Parser goldens} *)
+
+let test_parse_get () =
+  match
+    parse
+      "GET /healthz?q=long%20range&n=3 HTTP/1.1\r\n\
+       Host: cts\r\n\
+       X-Trace: on \r\n\
+       \r\n"
+  with
+  | Http.Request req ->
+      check_true "method" (Http.meth_equal req.Http.meth Http.GET);
+      check_str "path" "/healthz" req.Http.path;
+      check_str "raw target kept" "/healthz?q=long%20range&n=3" req.Http.target;
+      check_true "query decoded"
+        (req.Http.query = [ ("q", "long range"); ("n", "3") ]);
+      check_str "header lowercased" "cts"
+        (Option.value ~default:"?" (Http.header req "HOST"));
+      check_str "header value trimmed" "on"
+        (Option.value ~default:"?" (Http.header req "x-trace"));
+      check_str "no body" "" req.Http.body;
+      check_true "HTTP/1.1 defaults to keep-alive" (Http.keep_alive req)
+  | _ -> Alcotest.fail "valid GET did not parse"
+
+let test_parse_post_body () =
+  match
+    parse "POST /v1/decide HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello"
+  with
+  | Http.Request req ->
+      check_true "method" (Http.meth_equal req.Http.meth Http.POST);
+      check_str "body" "hello" req.Http.body
+  | _ -> Alcotest.fail "POST with body did not parse"
+
+let test_parse_eof () =
+  match parse "" with
+  | Http.Eof -> ()
+  | _ -> Alcotest.fail "clean close should be Eof"
+
+let test_parse_malformed () =
+  check_int "garbage request line" 400 (parse_error_status "GARBAGE\r\n\r\n");
+  check_int "unsupported version" 505
+    (parse_error_status "GET /x HTTP/2.0\r\n\r\n");
+  check_int "bad content-length" 400
+    (parse_error_status "GET /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n");
+  check_int "negative content-length" 400
+    (parse_error_status "GET /x HTTP/1.1\r\ncontent-length: -4\r\n\r\n");
+  check_int "chunked rejected" 501
+    (parse_error_status
+       "POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+
+let test_parse_truncated () =
+  check_int "cut mid-headers" 400
+    (parse_error_status "GET /x HTTP/1.1\r\nHost: cts");
+  check_int "cut mid-body" 400
+    (parse_error_status "POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nhi")
+
+let test_parse_oversized () =
+  let limits = { Http.max_line = 48; max_headers = 2; max_body = 64 } in
+  let long = String.make 100 'a' in
+  check_int "request line too long" 414
+    (parse_error_status ~limits (Printf.sprintf "GET /%s HTTP/1.1\r\n\r\n" long));
+  check_int "header line too long" 431
+    (parse_error_status ~limits
+       (Printf.sprintf "GET /x HTTP/1.1\r\nx: %s\r\n\r\n" long));
+  check_int "too many headers" 431
+    (parse_error_status ~limits
+       "GET /x HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n");
+  check_int "body over cap refused before reading it" 413
+    (parse_error_status ~limits
+       "POST /x HTTP/1.1\r\ncontent-length: 65\r\n\r\n")
+
+let test_parse_timeout () =
+  with_socketpair (fun client server ->
+      Io.write_string client "GET /slow HTTP/1.1\r\nHost:";
+      (* client neither finishes nor closes: the deadline must fire *)
+      match Http.read_request (Io.reader server) (Io.deadline_in 0.2) with
+      | Http.Error { status = 408; _ } -> ()
+      | _ -> Alcotest.fail "trickling peer should time out as 408")
+
+let test_keep_alive_semantics () =
+  let ka bytes =
+    match parse bytes with
+    | Http.Request req -> Http.keep_alive req
+    | _ -> Alcotest.failf "unparseable %S" bytes
+  in
+  check_true "1.0 defaults to close" (not (ka "GET /x HTTP/1.0\r\n\r\n"));
+  check_true "1.0 opts into keep-alive"
+    (ka "GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+  check_true "1.1 opts out with close"
+    (not (ka "GET /x HTTP/1.1\r\nconnection: close\r\n\r\n"))
+
+(* {2 Router} *)
+
+let make_router () =
+  Router.create
+    [
+      Router.route Http.GET "/ping" (fun _ -> Http.text "pong");
+      Router.route Http.POST "/echo" (fun req -> Http.text req.Http.body);
+    ]
+
+let req_for meth path =
+  {
+    Http.meth;
+    target = path;
+    path;
+    query = [];
+    version = Http.Http_1_1;
+    headers = [];
+    body = "";
+  }
+
+let test_router_dispatch () =
+  let r = make_router () in
+  let label, resp = Router.dispatch r (req_for Http.GET "/ping") in
+  check_str "matched label" "/ping" label;
+  check_int "matched status" 200 (Http.status resp);
+  let label, resp = Router.dispatch r (req_for Http.GET "/nope") in
+  check_str "404s share one label" Router.unmatched_label label;
+  check_int "unknown path" 404 (Http.status resp);
+  let label, resp = Router.dispatch r (req_for Http.DELETE "/ping") in
+  check_str "405 keeps the path label" "/ping" label;
+  check_int "wrong method" 405 (Http.status resp);
+  check_true "allow header lists the supported method"
+    (contains_substring
+       (Http.to_string ~keep_alive:false resp)
+       "allow: GET")
+
+let test_router_rejects_duplicates () =
+  match
+    Router.create
+      [
+        Router.route Http.GET "/a" (fun _ -> Http.text "1");
+        Router.route Http.GET "/a" (fun _ -> Http.text "2");
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate routes accepted"
+
+let test_pool_config_validation () =
+  let bad config =
+    match Pool.create ~config (make_router ()) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "invalid pool config accepted"
+  in
+  bad { Pool.default_config with domains = 0 };
+  bad { Pool.default_config with queue_capacity = 0 };
+  bad { Pool.default_config with read_timeout_s = Some 0.0 }
+
+(* {2 Socketpair round-trips through the worker body} *)
+
+let test_round_trip_keep_alive () =
+  let config = { Pool.default_config with domains = 1 } in
+  let pool = Pool.create ~config (make_router ()) in
+  with_socketpair (fun client server ->
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      Fun.protect
+        ~finally:(fun () -> ignore (Domain.join worker))
+        (fun () ->
+          let reader = Io.reader client in
+          Io.write_string client "GET /ping HTTP/1.1\r\n\r\n";
+          let st, hdrs, body = read_response reader in
+          check_int "first response" 200 st;
+          check_str "body" "pong" body;
+          check_str "keep-alive advertised" "keep-alive"
+            (Option.value ~default:"?" (List.assoc_opt "connection" hdrs));
+          (* second request on the same connection *)
+          Io.write_string client
+            "POST /echo HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+          let st, _, body = read_response reader in
+          check_int "reused connection" 200 st;
+          check_str "echoed body" "hello" body;
+          (* 404 is a routed answer, not a connection error *)
+          Io.write_string client "GET /missing HTTP/1.1\r\n\r\n";
+          let st, _, _ = read_response reader in
+          check_int "404 keeps the session" 404 st;
+          (* connection: close ends the session *)
+          Io.write_string client
+            "GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n";
+          let st, hdrs, _ = read_response reader in
+          check_int "final response" 200 st;
+          check_str "close advertised" "close"
+            (Option.value ~default:"?" (List.assoc_opt "connection" hdrs));
+          match Io.read_line reader ~max:64 (Io.deadline_in 5.0) with
+          | None -> ()
+          | Some _ -> Alcotest.fail "connection survived connection: close"))
+
+let test_connection_answers_parse_error () =
+  let pool = Pool.create ~config:{ Pool.default_config with domains = 1 }
+      (make_router ())
+  in
+  let errors_before = Obs.Registry.counter_value "srv.http.parse_errors" in
+  with_socketpair (fun client server ->
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      Fun.protect
+        ~finally:(fun () -> ignore (Domain.join worker))
+        (fun () ->
+          let reader = Io.reader client in
+          Io.write_string client "NOT-HTTP\r\n\r\n";
+          let st, _, body = read_response reader in
+          check_int "malformed input answered" 400 st;
+          check_true "json error body" (contains_substring body "error");
+          (match Io.read_line reader ~max:64 (Io.deadline_in 5.0) with
+          | None -> ()
+          | Some _ -> Alcotest.fail "connection survived a parse error");
+          check_true "parse_errors ticked"
+            (Obs.Registry.counter_value "srv.http.parse_errors" > errors_before)))
+
+let test_handler_exception_contained () =
+  let router =
+    Router.create
+      [
+        Router.route Http.GET "/boom" (fun _ -> failwith "handler bug");
+        Router.route Http.GET "/ok" (fun _ -> Http.text "fine");
+      ]
+  in
+  let pool = Pool.create ~config:{ Pool.default_config with domains = 1 } router in
+  with_socketpair (fun client server ->
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      Fun.protect
+        ~finally:(fun () -> ignore (Domain.join worker))
+        (fun () ->
+          let reader = Io.reader client in
+          Io.write_string client "GET /boom HTTP/1.1\r\n\r\n";
+          let st, _, _ = read_response reader in
+          check_int "exception degraded to 500" 500 st;
+          (* the worker survived: same connection still serves *)
+          Io.write_string client
+            "GET /ok HTTP/1.1\r\nconnection: close\r\n\r\n";
+          let st, _, body = read_response reader in
+          check_int "worker survived the exception" 200 st;
+          check_str "subsequent handler ran" "fine" body))
+
+(* {2 Overload: full queue sheds with 503} *)
+
+let test_overload_sheds_503 () =
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let started = ref 0 in
+  let release = ref false in
+  let block_handler _req =
+    Mutex.protect m (fun () ->
+        incr started;
+        Condition.broadcast cv;
+        while not !release do
+          Condition.wait cv m
+        done);
+    Http.text "unblocked"
+  in
+  let router =
+    Router.create [ Router.route Http.GET "/block" block_handler ]
+  in
+  let config =
+    {
+      Pool.default_config with
+      domains = 1;
+      queue_capacity = 1;
+      max_conn_requests = 1;
+    }
+  in
+  let pool = Pool.create ~config router in
+  let listen_fd = Pool.listen ~host:"127.0.0.1" ~port:0 () in
+  let port = Pool.bound_port listen_fd in
+  let server = Domain.spawn (fun () -> Pool.serve pool listen_fd) in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect m (fun () ->
+          release := true;
+          Condition.broadcast cv);
+      Pool.stop pool;
+      ignore (Domain.join server);
+      close_quietly listen_fd)
+    (fun () ->
+      spin (fun () -> Pool.accepting pool) "accept loop never came up";
+      let shed_before = Obs.Registry.counter_value "srv.http.shed" in
+      (* c1 occupies the single worker... *)
+      let c1 = connect port in
+      Io.write_string c1 "GET /block HTTP/1.1\r\n\r\n";
+      spin
+        (fun () -> Mutex.protect m (fun () -> !started) >= 1)
+        "worker never picked up the blocking request";
+      (* ...c2 fills the one queue slot... *)
+      let c2 = connect port in
+      Io.write_string c2 "GET /block HTTP/1.1\r\n\r\n";
+      spin
+        (fun () -> Pool.queue_length pool = 1)
+        "second connection never queued";
+      (* ...so c3 must be shed straight from the accept loop. *)
+      let c3 = connect port in
+      Fun.protect
+        ~finally:(fun () -> List.iter close_quietly [ c1; c2; c3 ])
+        (fun () ->
+          let st, hdrs, body = read_response (Io.reader c3) in
+          check_int "overflow sheds 503, not a hang" 503 st;
+          check_str "retry-after set" "1"
+            (Option.value ~default:"?" (List.assoc_opt "retry-after" hdrs));
+          check_true "overload body says so"
+            (contains_substring body "overloaded");
+          check_true "shed counter ticked"
+            (Obs.Registry.counter_value "srv.http.shed" > shed_before);
+          (* unblock: both accepted requests must still be answered *)
+          Mutex.protect m (fun () ->
+              release := true;
+              Condition.broadcast cv);
+          let st, _, _ = read_response (Io.reader c1) in
+          check_int "blocked request answered" 200 st;
+          let st, _, _ = read_response (Io.reader c2) in
+          check_int "queued request answered after drain" 200 st))
+
+(* {2 Loopback soak: the acceptance criterion}
+
+   10k sequential decides over one keep-alive connection against the
+   real daemon surface (Cac_api router + Pool over TCP), then a
+   /metrics scrape that must carry the per-route telemetry. *)
+
+let test_soak_10k_decides () =
+  let engine = Cac.Engine.create () in
+  let (_ : Cac.Link.t) =
+    Cac.Engine.add_link_msec engine ~id:"oc3" ~capacity:16140.0
+      ~buffer_msec:20.0 ~target_clr:1e-6
+  in
+  let api = Cac_api.create engine in
+  let config = { Pool.default_config with domains = 2; queue_capacity = 64 } in
+  let pool = Pool.create ~config (Cac_api.router api) in
+  let listen_fd = Pool.listen ~host:"127.0.0.1" ~port:0 () in
+  let port = Pool.bound_port listen_fd in
+  let server = Domain.spawn (fun () -> Pool.serve pool listen_fd) in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.stop pool;
+      ignore (Domain.join server);
+      close_quietly listen_fd)
+    (fun () ->
+      spin (fun () -> Pool.accepting pool) "accept loop never came up";
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> close_quietly fd)
+        (fun () ->
+          let reader = Io.reader fd in
+          let body = {|{"link": "oc3", "class": "dar1"}|} in
+          let request =
+            Printf.sprintf
+              "POST /v1/decide HTTP/1.1\r\n\
+               content-type: application/json\r\n\
+               content-length: %d\r\n\
+               \r\n\
+               %s"
+              (String.length body) body
+          in
+          let ok = ref 0 in
+          for _ = 1 to 10_000 do
+            Io.write_string fd request;
+            let st, _, resp = read_response reader in
+            if st = 200 && contains_substring resp "admissible" then incr ok
+          done;
+          check_int "10k keep-alive decides, zero transport errors" 10_000
+            !ok;
+          (* the scrape endpoint reports what just happened *)
+          Io.write_string fd "GET /metrics HTTP/1.1\r\n\r\n";
+          let st, hdrs, metrics = read_response reader in
+          check_int "metrics scrape" 200 st;
+          check_true "prometheus content type"
+            (contains_substring
+               (Option.value ~default:"?"
+                  (List.assoc_opt "content-type" hdrs))
+               "text/plain");
+          check_true "request counter exported"
+            (contains_substring metrics "srv_http_requests_total");
+          check_true "per-route series exported"
+            (contains_substring metrics "route=\"/v1/decide\"");
+          check_true "per-route latency histogram exported"
+            (contains_substring metrics "srv_http_latency_us");
+          check_true "engine counters exported alongside"
+            (contains_substring metrics "cac_cache_hits_total")))
+
+let suite =
+  [
+    case "parser: GET with query and headers" test_parse_get;
+    case "parser: POST body via content-length" test_parse_post_body;
+    case "parser: clean EOF" test_parse_eof;
+    case "parser: malformed inputs" test_parse_malformed;
+    case "parser: truncated inputs" test_parse_truncated;
+    case "parser: oversized inputs" test_parse_oversized;
+    case "parser: trickling peer times out" test_parse_timeout;
+    case "parser: keep-alive semantics" test_keep_alive_semantics;
+    case "router: dispatch, 404, 405" test_router_dispatch;
+    case "router: duplicate routes rejected" test_router_rejects_duplicates;
+    case "pool: config validation" test_pool_config_validation;
+    case "pool: keep-alive round-trips over a socketpair"
+      test_round_trip_keep_alive;
+    case "pool: parse errors answered then closed"
+      test_connection_answers_parse_error;
+    case "pool: handler exceptions contained to a 500"
+      test_handler_exception_contained;
+    slow_case "pool: overload sheds 503 from the accept loop"
+      test_overload_sheds_503;
+    slow_case "daemon: 10k-request loopback soak + metrics scrape"
+      test_soak_10k_decides;
+  ]
