@@ -690,8 +690,15 @@ let cac_sweep_cmd =
     let doc = "Retries per failing sweep task before it reports ERROR." in
     Arg.(value & opt int 1 & info [ "task-retries" ] ~docv:"N" ~doc)
   in
+  let heatmap_arg =
+    let doc =
+      "After the sweep, print the per-buffer m* distribution heatmap \
+       (ASCII render of the labelled $(b,cts.m_star) histograms)."
+    in
+    Arg.(value & flag & info [ "heatmap" ] ~doc)
+  in
   let run models buffers clrs capacity requests domains seed check task_retries
-      fault_opts obs_opts =
+      heatmap fault_opts obs_opts =
     with_obs obs_opts @@ fun () ->
     with_faults fault_opts @@ fun () ->
     let class_names = split_commas models in
@@ -719,6 +726,11 @@ let cac_sweep_cmd =
       let failed = List.length (Cac.Sweep.failures outcomes) in
       Printf.printf "%d scenarios (%d failed) in %.2f s\n"
         (Array.length outcomes) failed elapsed;
+      if heatmap then begin
+        match Obs.Heatmap.of_snapshot (Obs.Registry.snapshot ()) with
+        | Some hm -> print_string (Obs.Heatmap.to_ascii hm)
+        | None -> Printf.printf "no per-buffer m* observations recorded\n"
+      end;
       if not check then `Ok ()
       else begin
         let sequential = Cac.Sweep.run ~domains:1 ~task_retries scenarios in
@@ -737,7 +749,7 @@ let cac_sweep_cmd =
       ret
         (const run $ models_arg $ buffers_arg $ clrs_arg $ cac_capacity_arg
        $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg
-       $ task_retries_arg $ fault_term $ obs_term))
+       $ task_retries_arg $ heatmap_arg $ fault_term $ obs_term))
 
 let cac_cmd =
   Cmd.group
@@ -804,20 +816,40 @@ let serve_cmd =
     let doc = "Decision-cache capacity (0 disables caching)." in
     Arg.(value & opt int 4096 & info [ "cache-capacity" ] ~docv:"N" ~doc)
   in
+  let breaker_cooldown_s_arg =
+    let doc =
+      "Wall-clock circuit-breaker cooldown, seconds (default: the \
+       deterministic eval-count cooldown).  A tripped breaker probes again \
+       after this long regardless of traffic — the right mode for a \
+       long-running daemon."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "breaker-cooldown-s" ] ~docv:"SEC" ~doc)
+  in
   let run host port domains queue read_timeout max_body links cache_capacity
-      max_retries fault_opts obs_opts =
+      max_retries breaker_cooldown_s quiet fault_opts obs_opts =
     with_obs obs_opts @@ fun () ->
     with_faults fault_opts @@ fun () ->
+    if quiet then Obs.Sink.set_human Obs.Sink.Null;
     let parsed = List.map parse_link_spec links in
     if queue < 1 then `Error (false, "--queue-capacity must be >= 1")
     else if max_body < 0 then `Error (false, "--max-body must be >= 0")
+    else if
+      match breaker_cooldown_s with
+      | Some s when not (Float.is_finite s && s >= 0.0) -> true
+      | _ -> false
+    then `Error (false, "--breaker-cooldown-s must be finite and >= 0")
     else if List.mem None parsed then
       `Error
         ( false,
           "bad --link spec (want id=capacity:buffer_msec:clr, e.g. \
            oc3=16140:20:1e-6)" )
     else begin
-      let engine = Cac.Engine.create ~cache_capacity ~max_retries () in
+      let engine =
+        Cac.Engine.create ~cache_capacity ~max_retries ?breaker_cooldown_s ()
+      in
       List.iter
         (fun spec ->
           let id, capacity, buffer_msec, target_clr = Option.get spec in
@@ -837,6 +869,9 @@ let serve_cmd =
           read_timeout_s =
             (if read_timeout > 0.0 then Some read_timeout else None);
           limits = { Srv.Http.default_limits with max_body };
+          (* One JSON line per request on the human sink; --quiet
+             installs the Null sink above, which drops them. *)
+          access_log = true;
         }
       in
       match Srv.Pool.create ~config (Srv.Cac_api.router api) with
@@ -857,21 +892,40 @@ let serve_cmd =
               let stop_signal _ = Srv.Pool.stop pool in
               Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
               Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
-              Printf.printf
-                "cts serve: listening on %s:%d (%d domains, queue %d)\n" host
-                (Srv.Pool.bound_port listen_fd)
-                config.Srv.Pool.domains queue;
-              List.iter
-                (fun link ->
-                  Printf.printf
-                    "cts serve:   link %-7s %.0f cells/frame, buffer %.1f \
-                     msec, CLR <= %g\n"
-                    (Cac.Link.id link) (Cac.Link.capacity link)
-                    (Cac.Link.buffer_msec link) (Cac.Link.target_clr link))
-                (Srv.Cac_api.with_engine api Cac.Engine.links);
-              Printf.printf
-                "cts serve: POST /v1/decide /v1/admit /v1/release, GET \
-                 /metrics /healthz /breakers\n%!";
+              (* The /debug/vars "server" section: live pool state,
+                 read per request. *)
+              ignore
+                (Srv.Cac_api.add_debug_provider api ~name:"server" (fun () ->
+                     Obs.Json.Obj
+                       [
+                         ("domains", Obs.Json.Int config.Srv.Pool.domains);
+                         ("queue_capacity", Obs.Json.Int queue);
+                         ( "queue_length",
+                           Obs.Json.Int (Srv.Pool.queue_length pool) );
+                         ( "accepting",
+                           Obs.Json.Bool (Srv.Pool.accepting pool) );
+                         ( "breaker_cooldown_s",
+                           match breaker_cooldown_s with
+                           | Some s -> Obs.Json.Float s
+                           | None -> Obs.Json.Null );
+                       ]));
+              if not quiet then begin
+                Printf.printf
+                  "cts serve: listening on %s:%d (%d domains, queue %d)\n" host
+                  (Srv.Pool.bound_port listen_fd)
+                  config.Srv.Pool.domains queue;
+                List.iter
+                  (fun link ->
+                    Printf.printf
+                      "cts serve:   link %-7s %.0f cells/frame, buffer %.1f \
+                       msec, CLR <= %g\n"
+                      (Cac.Link.id link) (Cac.Link.capacity link)
+                      (Cac.Link.buffer_msec link) (Cac.Link.target_clr link))
+                  (Srv.Cac_api.with_engine api Cac.Engine.links);
+                Printf.printf
+                  "cts serve: POST /v1/decide /v1/admit /v1/release, GET \
+                   /metrics /healthz /breakers /debug/vars /heatmap\n%!"
+              end;
               Srv.Pool.serve pool listen_fd;
               (try Unix.close listen_fd with Unix.Unix_error _ -> ());
               let snap = Obs.Registry.snapshot () in
@@ -883,13 +937,14 @@ let serve_cmd =
                 | Some v -> v
                 | None -> 0
               in
-              Printf.printf
-                "cts serve: drained; %d requests on %d connections (%d shed, \
-                 %d handler errors)\n"
-                (counter "srv.http.requests")
-                (counter "srv.http.connections")
-                (counter "srv.http.shed")
-                (counter "srv.http.handler_errors");
+              if not quiet then
+                Printf.printf
+                  "cts serve: drained; %d requests on %d connections (%d \
+                   shed, %d handler errors)\n"
+                  (counter "srv.http.requests")
+                  (counter "srv.http.connections")
+                  (counter "srv.http.shed")
+                  (counter "srv.http.handler_errors");
               `Ok ())
     end
   in
@@ -902,7 +957,8 @@ let serve_cmd =
       ret
         (const run $ host_arg $ port_arg $ domains_arg $ queue_arg
        $ read_timeout_arg $ max_body_arg $ links_arg $ cache_arg
-       $ max_retries_arg $ fault_term $ obs_term))
+       $ max_retries_arg $ breaker_cooldown_s_arg $ quiet_arg $ fault_term
+       $ obs_term))
 
 (* {2 The obs command group} *)
 

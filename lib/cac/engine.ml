@@ -25,6 +25,8 @@ type t = {
   max_retries : int;
   breaker_threshold : int;
   breaker_cooldown : int;
+  breaker_cooldown_s : float option;
+      (* Some s: wall-clock breaker mode for long-running servers *)
   mutable next_conn : int;
 }
 
@@ -41,10 +43,14 @@ type verdict = {
 }
 
 let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) ?(max_retries = 1)
-    ?(breaker_threshold = 5) ?(breaker_cooldown = 32) () =
+    ?(breaker_threshold = 5) ?(breaker_cooldown = 32) ?breaker_cooldown_s () =
   if max_retries < 0 then invalid_arg "Engine.create: max_retries < 0";
   if breaker_threshold < 1 then invalid_arg "Engine.create: breaker_threshold < 1";
   if breaker_cooldown < 0 then invalid_arg "Engine.create: breaker_cooldown < 0";
+  (match breaker_cooldown_s with
+  | Some s when not (Float.is_finite s && s >= 0.0) ->
+      invalid_arg "Engine.create: breaker_cooldown_s must be finite and >= 0"
+  | _ -> ());
   {
     links = Hashtbl.create 8;
     link_telemetry = Hashtbl.create 8;
@@ -56,6 +62,7 @@ let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) ?(max_retries = 1)
     max_retries;
     breaker_threshold;
     breaker_cooldown;
+    breaker_cooldown_s;
     next_conn = 0;
   }
 
@@ -162,7 +169,8 @@ let breaker t ~link_id ~(cls : Source_class.t) =
   | None ->
       let b =
         Guard.Breaker.create ~threshold:t.breaker_threshold
-          ~cooldown:t.breaker_cooldown ~label:key ()
+          ~cooldown:t.breaker_cooldown ?cooldown_s:t.breaker_cooldown_s
+          ~label:key ()
       in
       Hashtbl.replace t.breakers key b;
       b

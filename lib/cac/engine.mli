@@ -87,6 +87,7 @@ val create :
   ?max_retries:int ->
   ?breaker_threshold:int ->
   ?breaker_cooldown:int ->
+  ?breaker_cooldown_s:float ->
   unit ->
   t
 (** [cache_capacity] bounds the decision cache (default 4096; 0
@@ -95,7 +96,10 @@ val create :
     bounds kernel re-attempts per decision; [breaker_threshold]
     (default 5) is the consecutive-failure trip point and
     [breaker_cooldown] (default 32) the number of fast-failed
-    decisions before a half-open probe. *)
+    decisions before a half-open probe.  [breaker_cooldown_s] switches
+    the per-(link, class) breakers to wall-clock cooldowns of that
+    many seconds (see {!Resilience.Guard.Breaker.create}) — meant for
+    [cts serve], where recovery should not wait for traffic. *)
 
 val add_link :
   t -> id:string -> capacity:float -> buffer:float -> target_clr:float -> Link.t

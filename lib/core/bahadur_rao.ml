@@ -15,6 +15,16 @@ let c_evaluations = Obs.Registry.Counter.v "bahadur_rao.evaluations"
 let h_eval_us =
   Obs.Registry.Histogram.v ~lo:0.0 ~hi:2000.0 ~bins:100 "bahadur_rao.eval_us"
 
+(* Per-buffer m* series for the heatmap view.  Labelling by the
+   per-source buffer [b] would explode cardinality (b = B/n moves with
+   every n during a fill); the *total* buffer [b*n] is what a link
+   scenario fixes, so the label set stays one value per configured
+   link/scenario.  %.4g keeps float formatting stable across the
+   b*n = (B/n)*n round trip. *)
+let buffer_labels ~b ~n =
+  Obs.Labels.make
+    [ ("buffer_cells", Printf.sprintf "%.4g" (b *. float_of_int n)) ]
+
 let evaluate vg ~mu ~c ~b ~n =
   assert (n >= 1);
   let t0 = Obs.Clock.monotonic_ns () in
@@ -22,6 +32,8 @@ let evaluate vg ~mu ~c ~b ~n =
   Obs.Registry.Counter.incr c_evaluations;
   Obs.Registry.Histogram.observe h_eval_us
     (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
+  Obs.Registry.observe ~labels:(buffer_labels ~b ~n) "cts.m_star"
+    (float_of_int cts.Cts.m_star);
   let nf = float_of_int n in
   (* Fault-injection hook: when armed (chaos tests, --fault-spec) this
      point can raise, stall, or corrupt the exponent to NaN — callers

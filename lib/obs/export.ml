@@ -70,10 +70,21 @@ let prometheus (snap : Registry.snapshot) =
              (prom_labels ~extra:("le", prom_float le) labels)
              !cumulative)
       done;
+      (* OpenMetrics exemplar: the freshest traced observation rides
+         on the +Inf bucket (which every observation lands in). *)
+      let exemplar_suffix =
+        match h.Registry.exemplar with
+        | None -> ""
+        | Some e ->
+            Printf.sprintf " # {trace_id=\"%s\"} %s %s"
+              (Labels.escape_value e.Registry.ex_trace)
+              (prom_float e.Registry.ex_value)
+              (prom_float e.Registry.ex_wall)
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s_bucket%s %d\n" pname
+        (Printf.sprintf "%s_bucket%s %d%s\n" pname
            (prom_labels ~extra:("le", "+Inf") labels)
-           h.Registry.count);
+           h.Registry.count exemplar_suffix);
       Buffer.add_string buf
         (Printf.sprintf "%s_sum%s %s\n" pname (prom_labels labels)
            (prom_float h.Registry.sum));
@@ -98,6 +109,16 @@ let json_of_histogram (h : Registry.histogram_snapshot) =
       ("underflow", Json.Int h.Registry.underflow);
       ("overflow", Json.Int h.Registry.overflow);
       ("buckets", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.Registry.counts)));
+      ( "exemplar",
+        match h.Registry.exemplar with
+        | None -> Json.Null
+        | Some e ->
+            Json.Obj
+              [
+                ("trace_id", Json.String e.Registry.ex_trace);
+                ("value", Json.Float e.Registry.ex_value);
+                ("wall", Json.Float e.Registry.ex_wall);
+              ] );
     ]
 
 let json (snap : Registry.snapshot) =

@@ -6,7 +6,13 @@
 
 type key = string * Labels.t
 
-type hist = { h : Stats.Histogram.t; mutable sum : float }
+type exemplar = { ex_trace : string; ex_value : float; ex_wall : float }
+
+type hist = {
+  h : Stats.Histogram.t;
+  mutable sum : float;
+  mutable exemplar : exemplar option;
+}
 
 type shard = {
   counters : (key, int ref) Hashtbl.t;
@@ -123,7 +129,9 @@ let hist_cell shard ((name, _) as key) =
   | Some h -> h
   | None ->
       let { lo; hi; bins } = spec_of name in
-      let h = { h = Stats.Histogram.create ~lo ~hi ~bins; sum = 0.0 } in
+      let h =
+        { h = Stats.Histogram.create ~lo ~hi ~bins; sum = 0.0; exemplar = None }
+      in
       Hashtbl.replace shard.hists key h;
       h
 
@@ -142,10 +150,21 @@ let add_gauge ?(labels = Labels.empty) name v =
   let r = gauge_cell (my_shard ()) (name, labels) in
   r := !r +. v
 
+(* Attach the current trace id (if the domain is inside a traced
+   request) as an OpenMetrics exemplar.  The untraced path is a single
+   option read — no allocation. *)
+let stamp_exemplar cell x =
+  match Trace.current () with
+  | None -> ()
+  | Some ctx ->
+      cell.exemplar <-
+        Some { ex_trace = ctx.Trace.trace_id; ex_value = x; ex_wall = Clock.wall () }
+
 let observe ?(labels = Labels.empty) name x =
   let cell = hist_cell (my_shard ()) (name, labels) in
   Stats.Histogram.add cell.h x;
-  cell.sum <- cell.sum +. x
+  cell.sum <- cell.sum +. x;
+  stamp_exemplar cell x
 
 (* {2 Handles: cache the (domain, cell) pair, re-resolve on domain
    change}
@@ -250,7 +269,8 @@ module Histogram = struct
   let observe t x =
     let cell = resolve t in
     Stats.Histogram.add cell.h x;
-    cell.sum <- cell.sum +. x
+    cell.sum <- cell.sum +. x;
+    stamp_exemplar cell x
 
   let name t = t.name
   let labels t = t.labels
@@ -266,6 +286,7 @@ type histogram_snapshot = {
   overflow : int;
   sum : float;
   count : int;
+  exemplar : exemplar option;
 }
 
 type snapshot = {
@@ -283,7 +304,14 @@ let snapshot_of_hist cell =
     overflow = Stats.Histogram.overflow cell.h;
     sum = cell.sum;
     count = Stats.Histogram.total cell.h;
+    exemplar = cell.exemplar;
   }
+
+(* The freshest exemplar across shards represents the series. *)
+let merge_exemplars a b =
+  match (a, b) with
+  | None, e | e, None -> e
+  | Some ea, Some eb -> if eb.ex_wall >= ea.ex_wall then Some eb else Some ea
 
 let merge_hist_snapshots a b =
   if (not (Float.equal a.hlo b.hlo)) || (not (Float.equal a.hhi b.hhi)) || Array.length a.counts <> Array.length b.counts
@@ -295,6 +323,7 @@ let merge_hist_snapshots a b =
     overflow = a.overflow + b.overflow;
     sum = a.sum +. b.sum;
     count = a.count + b.count;
+    exemplar = merge_exemplars a.exemplar b.exemplar;
   }
 
 let compare_key ((na, la) : key) ((nb, lb) : key) =
@@ -318,6 +347,14 @@ let sorted_bindings merge tbl_of_shard declared zero shard_list =
     declared;
   Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> compare_key a b)
+
+(* Wall time of the last completed [snapshot]; negative = never.
+   Lets /healthz report how stale the exported view is. *)
+let last_snapshot_wall = Atomic.make (-1.0)
+
+let snapshot_age_s () =
+  let last = Atomic.get last_snapshot_wall in
+  if last < 0.0 then None else Some (Float.max 0.0 (Clock.wall () -. last))
 
 let snapshot () =
   (* Snapshots are intended between or after parallel sections: value
@@ -359,6 +396,7 @@ let snapshot () =
       overflow = 0;
       sum = 0.0;
       count = 0;
+      exemplar = None;
     }
   in
   let histograms =
@@ -369,6 +407,7 @@ let snapshot () =
         out)
       declared_h zero_hist shard_list
   in
+  Atomic.set last_snapshot_wall (Clock.wall ());
   { counters; gauges; histograms }
 
 let counter_value ?(labels = Labels.empty) name =

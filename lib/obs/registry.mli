@@ -32,6 +32,16 @@
 
 type key = string * Labels.t
 
+type exemplar = {
+  ex_trace : string;  (** trace id active when the value was observed *)
+  ex_value : float;
+  ex_wall : float;  (** wall-clock seconds of the observation *)
+}
+(** Histogram observations made while a {!Trace} context is installed
+    on the observing domain stamp the series with an exemplar — the
+    most recent traced value — which the Prometheus exporter emits in
+    OpenMetrics [# {trace_id="…"}] form. *)
+
 (** {1 Declarations}
 
     Declared instruments appear in every {!snapshot} (zero-valued if
@@ -106,6 +116,7 @@ type histogram_snapshot = {
   overflow : int;
   sum : float;  (** sum of all observed values, including out-of-range *)
   count : int;  (** total observations, including out-of-range *)
+  exemplar : exemplar option;  (** freshest traced observation, if any *)
 }
 
 type snapshot = {
@@ -116,6 +127,11 @@ type snapshot = {
 (** All lists sorted by (name, labels) for deterministic exports. *)
 
 val snapshot : unit -> snapshot
+
+val snapshot_age_s : unit -> float option
+(** Seconds since the last completed {!snapshot} anywhere in the
+    process, or [None] if one was never taken.  [/healthz] uses this
+    to report how stale the exported view is. *)
 
 val counter_value : ?labels:Labels.t -> string -> int
 (** Merged value across all shards; 0 if never updated. *)

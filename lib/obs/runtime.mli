@@ -1,0 +1,45 @@
+(** Runtime introspection: OCaml GC and heap figures as registry
+    gauges and raw values for [/debug/vars].
+
+    {b Single-writer discipline}: registry gauges merge across domain
+    shards by summation, so {!sample} must only ever be called from
+    one domain per process (the serving pool's accept loop, or the CLI
+    main domain).  Everything else reads via {!read} / {!last}, which
+    touch no registry state. *)
+
+type stats = {
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  heap_words : int;  (** current major-heap size, words *)
+  top_heap_words : int;  (** high-water mark, words *)
+  stack_size : int;  (** current stack depth, words *)
+}
+
+val read : unit -> stats
+(** One [Gc.quick_stat] poll.  No side effects — safe from any
+    domain.  On OCaml 5 the figures are aggregated from per-domain
+    samples refreshed at stop-the-world points, so they can lag the
+    true totals (by minutes on an idle multi-domain process); they are
+    never ahead. *)
+
+val sample : unit -> stats
+(** Polls and mirrors the figures into the [runtime.gc.*] /
+    [runtime.heap_words] / [runtime.top_heap_words] gauges, and
+    records the sample for {!last} / {!sample_age_s}.  If the poll
+    reads an unflushed zero heap (possible before the first
+    stop-the-world point after worker domains spawn), it forces one
+    minor collection so the published gauges are never the zero
+    block.  Single writer only — see the module note. *)
+
+val last : unit -> (float * stats) option
+(** Wall time and value of the most recent {!sample}, if any. *)
+
+val sample_age_s : unit -> float option
+(** Seconds since the last {!sample}; [None] if the collector never
+    ran.  [/healthz] uses this as the collector-liveness signal. *)
+
+val json_of_stats : stats -> Json.t

@@ -5,6 +5,9 @@ type frame = {
   depth : int;
   start_wall : float;
   start_mono : int64;
+  trace : string option;
+      (* trace id active at [enter] — correlates the span tree of one
+         served request across domains and with its exemplars *)
 }
 
 (* Per-domain span stack and id sequence; ids are "d<domain>:<seq>" so
@@ -172,6 +175,7 @@ let enter name =
       depth;
       start_wall = Clock.wall ();
       start_mono = Clock.monotonic_ns ();
+      trace = Trace.current_trace_id ();
     }
   in
   st := frame :: !st;
@@ -202,6 +206,10 @@ let exit_ frame ~ok =
                | Some p -> Json.String p
                | None -> Json.Null );
              ("depth", Json.Int frame.depth);
+             ( "trace",
+               match frame.trace with
+               | Some tid -> Json.String tid
+               | None -> Json.Null );
              ("dur_us", Json.Float dur_us);
              ("wall_dur_s", Json.Float wall_dur);
              ("ok", Json.Bool ok);

@@ -5,7 +5,9 @@
     stack, feeds the duration into the registry histogram
     [span.<name>.us] (0–1 s range in microseconds, 60 bins), and — when
     a trace sink is installed — emits one completion event per span
-    carrying its id, parent id, nesting depth and durations.
+    carrying its id, parent id, nesting depth, durations, and the
+    {!Trace} id active when the span was entered (so every span of one
+    served request shares a [trace] field in the JSONL sink).
 
     With the default [Null] trace sink the cost is two clock reads and
     one histogram update per span. *)

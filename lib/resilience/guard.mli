@@ -2,10 +2,12 @@
     the resilience layer.
 
     {!Fault} manufactures failures; this module bounds their blast
-    radius.  Everything here is deterministic — deadlines are
-    eval-count budgets, breaker cooldowns are decision counts — so
+    radius.  Everything here is deterministic by default — deadlines
+    are eval-count budgets, breaker cooldowns are decision counts — so
     guarded runs replay bit-identically from a seed, unlike wall-clock
-    timeouts.
+    timeouts.  Long-running servers can opt a breaker into wall-clock
+    cooldowns ({!Breaker.create}'s [cooldown_s]); that mode trades the
+    replay guarantee for time-based recovery.
 
     All counters land in {!Obs.Registry} under [cac.guard.*]:
 
@@ -70,9 +72,10 @@ end
 
     - {b Closed}: calls run normally; [threshold] {e consecutive}
       failures trip the breaker.
-    - {b Open}: calls fail fast ([Error Tripped]) for the next
-      [cooldown] calls — the caller degrades (fail-closed) instead of
-      hammering a broken kernel.
+    - {b Open}: calls fail fast ([Error Tripped]) for the cooldown —
+      by default the next [cooldown] calls; with [cooldown_s], a
+      wall-clock duration — so the caller degrades (fail-closed)
+      instead of hammering a broken kernel.
     - {b Half-open}: after the cooldown, one call is let through as a
       probe.  Success closes the breaker; failure re-opens it for
       another cooldown. *)
@@ -81,9 +84,23 @@ module Breaker : sig
   type state = Closed | Open | Half_open
   type error = Tripped | Failed of exn
 
-  val create : ?threshold:int -> ?cooldown:int -> ?label:string -> unit -> t
+  val create :
+    ?threshold:int ->
+    ?cooldown:int ->
+    ?cooldown_s:float ->
+    ?label:string ->
+    unit ->
+    t
   (** Defaults: [threshold = 5] consecutive failures, [cooldown = 64]
-      fast-failed calls before the first probe. *)
+      fast-failed calls before the first probe.  Passing [cooldown_s]
+      switches the breaker to wall-clock cooldowns: once tripped it
+      fast-fails until [cooldown_s] seconds have elapsed on
+      {!Obs.Clock.monotonic_ns}, then probes — the right mode for
+      long-running servers, where a quiet resource should recover by
+      time, not by absorbing [cooldown] more calls.  Wall-clock mode
+      is {e not} deterministic under replay; the eval-count default
+      is.  Raises [Invalid_argument] on a negative or non-finite
+      [cooldown_s]. *)
 
   val call : t -> (unit -> 'a) -> ('a, error) result
   (** Run [f] under the breaker.  [Error Tripped] means the breaker
@@ -94,6 +111,13 @@ module Breaker : sig
   val state : t -> state
   val consecutive_failures : t -> int
   val trips : t -> int
+
+  val wall_clock : t -> bool
+  (** [true] when the breaker was created with [cooldown_s]. *)
+
+  val cooldown_remaining_s : t -> float option
+  (** Seconds until a wall-clock breaker will accept a probe; [Some 0.]
+      when due, [None] while not Open or in eval-count mode. *)
 
   val state_name : state -> string
   (** ["closed"], ["open"] or ["half-open"]. *)

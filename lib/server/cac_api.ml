@@ -8,12 +8,26 @@ type t = {
   engine : Cac.Engine.t;
   mutex : Mutex.t;
   started_wall : float;
+  (* Extra /debug/vars sections contributed by the embedding daemon
+     (pool configuration, build info, …); guarded by [mutex]. *)
+  mutable debug_providers : (string * (unit -> Obs.Json.t)) list;
 }
 
 let create engine =
-  { engine; mutex = Mutex.create (); started_wall = Obs.Clock.wall () }
+  {
+    engine;
+    mutex = Mutex.create ();
+    started_wall = Obs.Clock.wall ();
+    debug_providers = [];
+  }
 
 let with_engine t f = Mutex.protect t.mutex (fun () -> f t.engine)
+
+let add_debug_provider t ~name f =
+  Mutex.protect t.mutex (fun () ->
+      t.debug_providers <-
+        (name, f) :: List.remove_assoc name t.debug_providers);
+  t
 
 (* {2 Request decoding} *)
 
@@ -89,12 +103,19 @@ let verdict_json (v : Cac.Engine.verdict) =
 
 (* {2 Handlers} *)
 
+(* Each mutating/deciding endpoint opens its own span under the pool's
+   [srv.http.request] span, so a traced request yields a proper span
+   tree (request → api handler → engine/kernel spans), all stamped
+   with the same trace id. *)
+
 let decide t req =
+  Obs.Span.with_ ~name:"cac.api.decide" @@ fun () ->
   link_class t req @@ fun ~link ~cls ->
   let verdict = with_engine t (fun e -> Cac.Engine.evaluate e ~link ~cls) in
   Http.json (verdict_json verdict)
 
 let admit t req =
+  Obs.Span.with_ ~name:"cac.api.admit" @@ fun () ->
   link_class t req @@ fun ~link ~cls ->
   match with_engine t (fun e -> Cac.Engine.admit e ~link ~cls) with
   | Cac.Engine.Admitted conn ->
@@ -110,12 +131,25 @@ let admit t req =
            ])
 
 let release t req =
+  Obs.Span.with_ ~name:"cac.api.release" @@ fun () ->
   let* doc = body_json req in
   let* conn = int_field doc "conn" in
   match with_engine t (fun e -> Cac.Engine.release e ~conn) with
   | () -> Http.json (Obs.Json.Obj [ ("released", Obs.Json.Bool true) ])
   | exception Invalid_argument _ ->
       Http.json_error ~status:404 (Printf.sprintf "unknown connection %d" conn)
+
+(* The runtime collector is "live" while its last sample is younger
+   than this; the pool samples every accept-loop tick (≤ 0.25 s), so
+   5 s of silence means the sampling domain is wedged or gone. *)
+let runtime_live_threshold_s = 5.0
+
+let opt_age = function Some a -> Obs.Json.Float a | None -> Obs.Json.Null
+
+let runtime_collector_status () =
+  match Obs.Runtime.sample_age_s () with
+  | None -> "never"
+  | Some age -> if age <= runtime_live_threshold_s then "live" else "stale"
 
 let healthz t _req =
   let links, connections =
@@ -130,7 +164,73 @@ let healthz t _req =
          ("uptime_s", Obs.Json.Float (Obs.Clock.wall () -. t.started_wall));
          ("links", Obs.Json.List links);
          ("connections", Obs.Json.Int connections);
+         (* Health is more than engine reachability: how stale is the
+            exported registry view, and is the runtime collector
+            alive?  ("never" is normal before the first /metrics
+            scrape or outside the serving pool.) *)
+         ("snapshot_age_s", opt_age (Obs.Registry.snapshot_age_s ()));
+         ( "runtime_collector",
+           Obs.Json.String (runtime_collector_status ()) );
+         ("runtime_sample_age_s", opt_age (Obs.Runtime.sample_age_s ()));
        ])
+
+let debug_vars t _req =
+  let providers = Mutex.protect t.mutex (fun () -> t.debug_providers) in
+  let provider_fields =
+    List.rev_map
+      (fun (name, f) ->
+        ( name,
+          match f () with
+          | doc -> doc
+          | exception _ -> Obs.Json.String "<provider error>" ))
+      providers
+  in
+  Http.json
+    (Obs.Json.Obj
+       ([
+          ("uptime_s", Obs.Json.Float (Obs.Clock.wall () -. t.started_wall));
+          ("clock_source", Obs.Json.String (Obs.Clock.source ()));
+          (* [read], not [sample]: /debug/vars may be hit from any
+             worker domain, and runtime gauges are single-writer.  GC
+             counters are domain-local in OCaml 5, so [gc] is the
+             answering worker's view; [gc_sampled] is the accept-loop
+             collector's latest poll. *)
+          ("gc", Obs.Runtime.json_of_stats (Obs.Runtime.read ()));
+          ( "gc_sampled",
+            match Obs.Runtime.last () with
+            | Some (_, s) -> Obs.Runtime.json_of_stats s
+            | None -> Obs.Json.Null );
+          ("runtime_collector", Obs.Json.String (runtime_collector_status ()));
+          ("runtime_sample_age_s", opt_age (Obs.Runtime.sample_age_s ()));
+          ("registry_snapshot_age_s", opt_age (Obs.Registry.snapshot_age_s ()));
+        ]
+       @ provider_fields))
+
+let heatmap_html _req =
+  match Obs.Heatmap.of_snapshot (Obs.Registry.snapshot ()) with
+  | Some hm ->
+      Http.response
+        ~headers:[ ("content-type", "text/html; charset=utf-8") ]
+        ~status:200 (Obs.Heatmap.to_html hm)
+  | None ->
+      Http.response
+        ~headers:[ ("content-type", "text/html; charset=utf-8") ]
+        ~status:200
+        "<!DOCTYPE html>\n\
+         <html><head><meta charset=\"utf-8\"><meta http-equiv=\"refresh\" \
+         content=\"5\"><title>cts.m_star heatmap</title></head>\n\
+         <body><p>No per-buffer m* observations yet — issue some \
+         /v1/decide requests first.</p></body></html>\n"
+
+let heatmap_csv _req =
+  let body =
+    match Obs.Heatmap.of_snapshot (Obs.Registry.snapshot ()) with
+    | Some hm -> Obs.Heatmap.to_csv hm
+    | None -> "buffer_cells,bin_lo,bin_hi,count\n"
+  in
+  Http.response
+    ~headers:[ ("content-type", "text/csv; charset=utf-8") ]
+    ~status:200 body
 
 let breakers t _req =
   let entries =
@@ -174,4 +274,7 @@ let router t =
       Router.route Http.GET "/metrics" metrics;
       Router.route Http.GET "/healthz" (healthz t);
       Router.route Http.GET "/breakers" (breakers t);
+      Router.route Http.GET "/debug/vars" (debug_vars t);
+      Router.route Http.GET "/heatmap" heatmap_html;
+      Router.route Http.GET "/heatmap.csv" heatmap_csv;
     ]

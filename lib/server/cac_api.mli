@@ -12,11 +12,26 @@
     - [POST /v1/release] — body [{"conn": id}]; answers
       [{"released": true}] or [404].
     - [GET /metrics] — Prometheus text exposition of the whole
-      {!Obs.Registry} (the OpenMetrics scrape endpoint).
+      {!Obs.Registry} (the OpenMetrics scrape endpoint), including
+      trace-id exemplars on histogram [+Inf] buckets.
     - [GET /healthz] — liveness: status, uptime, link ids, active
-      connection count.
+      connection count, registry snapshot age, and runtime-collector
+      liveness ([live]/[stale]/[never]; stale after 5 s without an
+      {!Obs.Runtime.sample}).
     - [GET /breakers] — every (link, class) circuit breaker that has
       seen traffic, with its state.
+    - [GET /debug/vars] — JSON introspection: uptime, monotonic clock
+      source, a fresh [Gc.quick_stat] poll ([gc], the answering
+      domain's view) plus the runtime collector's last sample
+      ([gc_sampled]), collector/snapshot ages, and any sections
+      registered via {!add_debug_provider}.
+    - [GET /heatmap], [GET /heatmap.csv] — the per-buffer
+      [cts.m_star] distributions ({!Obs.Heatmap}) as a self-contained
+      HTML view / long-format CSV.
+
+    [decide]/[admit]/[release] run inside [cac.api.*] spans, so a
+    traced request produces a span tree under the pool's
+    [srv.http.request] root.
 
     Malformed JSON answers [400]; missing or mistyped fields answer
     [422]; unknown links, classes and connections answer [404]. *)
@@ -29,5 +44,11 @@ val with_engine : t -> (Cac.Engine.t -> 'a) -> 'a
 (** Run [f] on the engine under the API mutex — for daemon code that
     needs to touch the engine (setup, reporting) while the server is
     live. *)
+
+val add_debug_provider : t -> name:string -> (unit -> Obs.Json.t) -> t
+(** Register (or replace) a named [/debug/vars] section; the thunk
+    runs per request, and an exception renders as
+    ["<provider error>"] instead of failing the endpoint.  Returns
+    [t] for chaining. *)
 
 val router : t -> Router.t

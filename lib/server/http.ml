@@ -39,6 +39,11 @@ type request = {
 let header req name =
   List.assoc_opt (String.lowercase_ascii name) req.headers
 
+let traceparent req =
+  match header req "traceparent" with
+  | None -> None
+  | Some v -> Obs.Trace.parse_traceparent v
+
 let keep_alive req =
   match Option.map String.lowercase_ascii (header req "connection") with
   | Some "close" -> false
@@ -220,6 +225,8 @@ let response ?(headers = []) ~status body =
   { status; resp_headers = headers; body }
 
 let status (r : response) = r.status
+
+let add_header resp kv = { resp with resp_headers = kv :: resp.resp_headers }
 
 let text ?(status = 200) body =
   response ~status ~headers:[ ("content-type", "text/plain; charset=utf-8") ]

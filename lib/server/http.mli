@@ -38,6 +38,10 @@ type request = {
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
 
+val traceparent : request -> Obs.Trace.t option
+(** The request's W3C [traceparent] context, if present and
+    well-formed. *)
+
 val keep_alive : request -> bool
 
 type error = { status : int; reason : string }
@@ -67,6 +71,9 @@ val json_error : status:int -> string -> response
 
 val reason_phrase : int -> string
 val status : response -> int
+
+val add_header : response -> string * string -> response
+(** Prepend one header (e.g. the echoed [traceparent]). *)
 
 val to_string : keep_alive:bool -> response -> string
 (** Serialize: status line, caller headers, [content-length],

@@ -11,6 +11,7 @@ type config = {
   read_timeout_s : float option;
   limits : Http.limits;
   max_conn_requests : int;
+  access_log : bool;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     read_timeout_s = Some 10.0;
     limits = Http.default_limits;
     max_conn_requests = 100_000;
+    access_log = false;
   }
 
 (* {2 Telemetry}
@@ -37,6 +39,7 @@ let () =
   Obs.Registry.declare_counter "srv.http.handler_errors";
   Obs.Registry.declare_gauge "srv.http.in_flight";
   Obs.Registry.declare_gauge "srv.http.queue_depth";
+  Obs.Registry.declare_gauge "srv.http.queue_occupancy";
   Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:1_000_000.0 ~bins:60
     "srv.http.latency_us"
 
@@ -131,10 +134,32 @@ let incr_requests ~route ~meth ~status =
          ])
     "srv.http.requests"
 
+(* One structured access-log line per request through the process-wide
+   human sink, so [--quiet] (a Null human sink) silences it. *)
+let access_log_line ~ctx ~req ~status ~us =
+  Obs.Sink.message (Obs.Sink.human_sink ())
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("ts", Obs.Json.Float (Obs.Clock.wall ()));
+            ("kind", Obs.Json.String "access");
+            ("method", Obs.Json.String (Http.meth_name req.Http.meth));
+            ("path", Obs.Json.String req.Http.path);
+            ("status", Obs.Json.Int status);
+            ("us", Obs.Json.Float us);
+            ("trace", Obs.Json.String ctx.Obs.Trace.trace_id);
+          ]))
+
 (* Dispatch one parsed request: the [srv.http.handler] fault point
    fires first (chaos testing of the serving path itself), then the
    handler runs under [Guard.protect] so an exception degrades to a
-   500 for this request instead of killing the worker domain. *)
+   500 for this request instead of killing the worker domain.
+
+   The whole dispatch runs under the request's trace context — parsed
+   from the peer's [traceparent] header, generated otherwise — so the
+   [srv.http.request] span, every span the handler opens, and every
+   histogram exemplar recorded on this domain share one trace id; the
+   response echoes it in [traceparent]. *)
 let handle_request t req =
   Obs.Registry.add_gauge "srv.http.in_flight" 1.0;
   let t0 = Obs.Clock.monotonic_ns () in
@@ -142,6 +167,12 @@ let handle_request t req =
       Obs.Registry.add_gauge "srv.http.in_flight" (-1.0))
   @@ fun () ->
   let route = Router.label t.router req in
+  let ctx =
+    match Http.traceparent req with
+    | Some ctx -> ctx
+    | None -> Obs.Trace.generate ()
+  in
+  Obs.Trace.with_context ctx @@ fun () ->
   let resp =
     Obs.Span.with_ ~name:"srv.http.request" @@ fun () ->
     Resilience.Guard.protect ~label:"srv.http.handler"
@@ -154,11 +185,12 @@ let handle_request t req =
   in
   let status = Http.status resp in
   incr_requests ~route ~meth:(Http.meth_name req.Http.meth) ~status;
+  let us = Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0) in
   Obs.Registry.observe
     ~labels:(Obs.Labels.make [ ("route", route) ])
-    "srv.http.latency_us"
-    (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
-  resp
+    "srv.http.latency_us" us;
+  if t.config.access_log then access_log_line ~ctx ~req ~status ~us;
+  Http.add_header resp ("traceparent", Obs.Trace.to_traceparent ctx)
 
 (* Serve every request a connection carries, then close it.  The
    keep-alive budget ([Guard.Budget]) bounds requests per connection;
@@ -254,8 +286,21 @@ let serve t listen_fd =
             work ()))
   in
   Atomic.set t.accepting true;
+  (* Accept-loop housekeeping, run once per select tick (≤ 0.25 s
+     apart): mirror queue depth/occupancy and poll the GC into the
+     registry.  The accept loop is the process's single
+     [Obs.Runtime.sample] writer — gauges merge by summation across
+     shards, so a second sampling domain would double-count. *)
+  let observe_tick () =
+    let depth = queue_depth t.work in
+    Obs.Registry.set_gauge "srv.http.queue_depth" (float_of_int depth);
+    Obs.Registry.set_gauge "srv.http.queue_occupancy"
+      (float_of_int depth /. float_of_int t.config.queue_capacity);
+    ignore (Obs.Runtime.sample ())
+  in
   let rec accept_loop () =
     if not (stopping t) then begin
+      observe_tick ();
       (* Poll the stop flag between waits so [stop] from a signal
          handler takes effect within one tick. *)
       (match Unix.select [ listen_fd ] [] [] 0.25 with
@@ -264,10 +309,7 @@ let serve t listen_fd =
           match Unix.accept listen_fd with
           | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
               ()
-          | fd, _ ->
-              Obs.Registry.set_gauge "srv.http.queue_depth"
-                (float_of_int (queue_depth t.work));
-              if not (queue_push t.work (Conn fd)) then shed fd)
+          | fd, _ -> if not (queue_push t.work (Conn fd)) then shed fd)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
     end

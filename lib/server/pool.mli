@@ -23,8 +23,22 @@
     [srv.http.requests] (total and per
     [{route,method,status}]), [srv.http.latency_us] per route,
     [srv.http.in_flight], [srv.http.queue_depth],
+    [srv.http.queue_occupancy] (depth / capacity),
     [srv.http.connections], [srv.http.shed], [srv.http.parse_errors],
     [srv.http.handler_errors], plus the [srv.http.request] span.
+    The accept loop additionally runs {!Obs.Runtime.sample} once per
+    poll tick (it is the process's single runtime-gauge writer).
+
+    {2 Trace correlation}
+
+    Every dispatched request runs under an {!Obs.Trace} context —
+    parsed from the peer's [traceparent] header when present and
+    well-formed, freshly generated otherwise — so all spans and
+    histogram exemplars it produces share one trace id.  The response
+    carries the context back in a [traceparent] header.  With
+    [config.access_log] set, each request also emits a one-line JSON
+    access log ([method], [path], [status], [us], [trace]) through
+    {!Obs.Sink.human_sink}, which [--quiet] silences.
 
     {2 Shutdown}
 
@@ -40,12 +54,13 @@ type config = {
   read_timeout_s : float option;  (** per-request read deadline; [None] = none *)
   limits : Http.limits;
   max_conn_requests : int;  (** keep-alive requests per connection *)
+  access_log : bool;  (** one JSON line per request on the human sink *)
 }
 
 val default_config : config
 (** [min 4 (recommended_domain_count - 1)] domains (at least 1), a
     128-connection queue, 10 s read timeout, {!Http.default_limits},
-    100k requests per connection. *)
+    100k requests per connection, access log off. *)
 
 type t
 

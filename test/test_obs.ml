@@ -282,6 +282,320 @@ let test_span_sampling_validation () =
   rejected (Obs.Span.Token_bucket { capacity = -1; refill_per_s = 1.0 });
   rejected (Obs.Span.Token_bucket { capacity = 1; refill_per_s = Float.nan })
 
+(* {2 Trace context} *)
+
+let test_trace_parse_roundtrip () =
+  let tp = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01" in
+  (match Obs.Trace.parse_traceparent tp with
+  | Some ctx ->
+      check_true "trace id extracted"
+        (ctx.Obs.Trace.trace_id = "0123456789abcdef0123456789abcdef");
+      check_true "span id extracted"
+        (ctx.Obs.Trace.span_id = "00f067aa0ba902b7");
+      check_true "renders back to the same header"
+        (Obs.Trace.to_traceparent ctx = tp)
+  | None -> Alcotest.fail "valid traceparent rejected");
+  check_true "surrounding whitespace tolerated"
+    (Obs.Trace.parse_traceparent ("  " ^ tp ^ " ") <> None);
+  check_true "future version with trailing fields accepted"
+    (Obs.Trace.parse_traceparent
+       "cc-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01-extra"
+    <> None);
+  List.iter
+    (fun s ->
+      check_true
+        (Printf.sprintf "rejects %S" s)
+        (Obs.Trace.parse_traceparent s = None))
+    [
+      "";
+      "garbage";
+      (* short trace id *)
+      "00-0123-00f067aa0ba902b7-01";
+      (* all-zero ids are invalid on the wire *)
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01";
+      "00-0123456789abcdef0123456789abcdef-0000000000000000-01";
+      (* version ff is reserved-invalid *)
+      "ff-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01";
+      (* hex must be lowercase *)
+      "00-0123456789ABCDEF0123456789abcdef-00f067aa0ba902b7-01";
+      (* version 00 admits no trailing fields *)
+      "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01-extra";
+      (* misplaced separator *)
+      "00_0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01";
+    ]
+
+let test_trace_generate () =
+  let all_hex s =
+    String.for_all
+      (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+      s
+  in
+  let a = Obs.Trace.generate () and b = Obs.Trace.generate () in
+  check_int "trace id width" 32 (String.length a.Obs.Trace.trace_id);
+  check_int "span id width" 16 (String.length a.Obs.Trace.span_id);
+  check_true "lowercase hex only"
+    (all_hex a.Obs.Trace.trace_id && all_hex a.Obs.Trace.span_id);
+  check_true "never all-zero"
+    (String.exists (fun c -> c <> '0') a.Obs.Trace.trace_id);
+  check_true "consecutive ids differ"
+    (a.Obs.Trace.trace_id <> b.Obs.Trace.trace_id);
+  check_true "generated context round-trips through the header"
+    (Obs.Trace.parse_traceparent (Obs.Trace.to_traceparent a) = Some a)
+
+let test_trace_context_scoping () =
+  check_true "no ambient context" (Obs.Trace.current () = None);
+  let ctx = Obs.Trace.generate () in
+  check_true "context visible inside with_context"
+    (Obs.Trace.with_context ctx (fun () -> Obs.Trace.current ()) = Some ctx);
+  check_true "restored after" (Obs.Trace.current () = None);
+  (match Obs.Trace.with_context ctx (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  check_true "restored on exception" (Obs.Trace.current () = None);
+  check_true "current_trace_id matches"
+    (Obs.Trace.with_context ctx Obs.Trace.current_trace_id
+    = Some ctx.Obs.Trace.trace_id)
+
+(* The context is Domain-local: a worker domain neither sees the
+   parent's context nor leaks its own back — the property the serving
+   pool relies on to keep concurrent requests' traces separate. *)
+let test_trace_domain_isolation () =
+  let ctx = Obs.Trace.generate () in
+  Obs.Trace.with_context ctx (fun () ->
+      let child_saw =
+        Domain.join (Domain.spawn (fun () -> Obs.Trace.current ()))
+      in
+      check_true "fresh domain starts without a context" (child_saw = None);
+      let child_ctx = Obs.Trace.generate () in
+      Domain.join
+        (Domain.spawn (fun () ->
+             Obs.Trace.with_context child_ctx (fun () ->
+                 check_true "child sees its own context"
+                   (Obs.Trace.current () = Some child_ctx))));
+      check_true "child's context never leaks to the parent"
+        (Obs.Trace.current () = Some ctx))
+
+let test_span_event_trace_field () =
+  let ctx = Obs.Trace.generate () in
+  let lines =
+    with_temp_jsonl (fun sink ->
+        Obs.Span.set_trace_sink sink;
+        Fun.protect
+          ~finally:(fun () -> Obs.Span.set_trace_sink Obs.Sink.Null)
+          (fun () ->
+            Obs.Span.with_ ~name:"test.untraced_span" ignore;
+            Obs.Trace.with_context ctx (fun () ->
+                Obs.Span.with_ ~name:"test.traced_span" ignore)))
+  in
+  match List.filter_map Obs.Json.of_string lines with
+  | [ untraced; traced ] ->
+      check_true "untraced span has a null trace field"
+        (Obs.Json.member "trace" untraced = Some Null);
+      check_true "traced span carries the trace id"
+        (Obs.Json.member "trace" traced
+        = Some (String ctx.Obs.Trace.trace_id))
+  | parsed -> Alcotest.failf "expected two events, got %d" (List.length parsed)
+
+(* {2 Exemplars} *)
+
+let test_exemplar_stamping () =
+  Obs.Registry.declare_histogram ~lo:0.0 ~hi:10.0 ~bins:5 "test.obs.exemplar";
+  Obs.Registry.observe "test.obs.exemplar" 1.0;
+  (match Obs.Registry.histogram_snapshot "test.obs.exemplar" with
+  | Some s ->
+      check_true "untraced observations leave no exemplar" (s.exemplar = None)
+  | None -> Alcotest.fail "histogram missing");
+  let ctx = Obs.Trace.generate () in
+  Obs.Trace.with_context ctx (fun () ->
+      Obs.Registry.observe "test.obs.exemplar" 4.5);
+  match Obs.Registry.histogram_snapshot "test.obs.exemplar" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s -> (
+      match s.exemplar with
+      | None -> Alcotest.fail "traced observation left no exemplar"
+      | Some e ->
+          check_true "exemplar carries the trace id"
+            (e.Obs.Registry.ex_trace = ctx.Obs.Trace.trace_id);
+          check_close "exemplar keeps the observed value" 4.5
+            e.Obs.Registry.ex_value;
+          check_true "exemplar is wall-stamped" (e.Obs.Registry.ex_wall > 0.0))
+
+let test_prometheus_exemplar () =
+  (* Hand-built snapshot: the exemplar must render OpenMetrics-style
+     on the +Inf bucket only. *)
+  let snap =
+    {
+      Obs.Registry.counters = [];
+      gauges = [];
+      histograms =
+        [
+          ( ("test.ex.us", Obs.Labels.empty),
+            {
+              Obs.Registry.hlo = 0.0;
+              hhi = 10.0;
+              counts = [| 1 |];
+              underflow = 0;
+              overflow = 0;
+              sum = 2.0;
+              count = 1;
+              exemplar =
+                Some
+                  {
+                    Obs.Registry.ex_trace = "4bf92f3577b34da6";
+                    ex_value = 2.0;
+                    ex_wall = 1.5;
+                  };
+            } );
+        ];
+    }
+  in
+  let out = Obs.Export.prometheus snap in
+  check_true "+Inf bucket carries the exemplar"
+    (contains_substring out
+       "test_ex_us_bucket{le=\"+Inf\"} 1 # {trace_id=\"4bf92f3577b34da6\"} 2 1.5");
+  check_true "finite buckets stay exemplar-free"
+    (contains_substring out "test_ex_us_bucket{le=\"10\"} 1\n")
+
+(* {2 Runtime collector} *)
+
+let test_runtime_read_monotonic () =
+  let a = Obs.Runtime.read () in
+  (* allocate enough boxed values to move the GC counters *)
+  let junk = ref [] in
+  for i = 1 to 10_000 do
+    junk := string_of_int i :: !junk
+  done;
+  Gc.minor ();
+  check_true "allocation kept" (List.length !junk = 10_000);
+  let b = Obs.Runtime.read () in
+  check_true "minor_words grows with allocation"
+    (b.Obs.Runtime.minor_words > a.Obs.Runtime.minor_words);
+  check_true "minor_collections never decreases"
+    (b.Obs.Runtime.minor_collections >= a.Obs.Runtime.minor_collections);
+  check_true "major_words never decreases"
+    (b.Obs.Runtime.major_words >= a.Obs.Runtime.major_words);
+  check_true "heap is non-empty" (b.Obs.Runtime.heap_words > 0);
+  check_true "high-water mark bounds the heap"
+    (b.Obs.Runtime.top_heap_words >= b.Obs.Runtime.heap_words)
+
+let test_runtime_sample () =
+  let s = Obs.Runtime.sample () in
+  (match Obs.Runtime.last () with
+  | Some (_, s') -> check_true "last returns the sampled stats" (s' = s)
+  | None -> Alcotest.fail "sample did not record itself");
+  (match Obs.Runtime.sample_age_s () with
+  | Some age -> check_true "age is non-negative" (age >= 0.0)
+  | None -> Alcotest.fail "sample_age_s empty after a sample");
+  let s' = Obs.Runtime.sample () in
+  check_true "counters are monotone across samples"
+    (s'.Obs.Runtime.minor_collections >= s.Obs.Runtime.minor_collections
+    && s'.Obs.Runtime.minor_words >= s.Obs.Runtime.minor_words);
+  (* sample never publishes the unflushed zero block (it forces a
+     minor collection if quick_stat has not seen a stop-the-world
+     point since worker domains spawned) *)
+  check_true "sampled heap is never zero" (s'.Obs.Runtime.heap_words > 0);
+  let snap = Obs.Registry.snapshot () in
+  List.iter
+    (fun name ->
+      check_true
+        (Printf.sprintf "%s gauge exported" name)
+        (List.mem_assoc (name, Obs.Labels.empty) snap.gauges))
+    [
+      "runtime.gc.minor_collections";
+      "runtime.gc.major_collections";
+      "runtime.gc.minor_words";
+      "runtime.heap_words";
+      "runtime.top_heap_words";
+    ];
+  (* json encoding carries every field *)
+  let doc = Obs.Runtime.json_of_stats s' in
+  List.iter
+    (fun f ->
+      check_true (Printf.sprintf "json has %s" f) (Obs.Json.member f doc <> None))
+    [ "minor_collections"; "major_collections"; "minor_words"; "heap_words" ]
+
+(* {2 Heatmaps} *)
+
+(* Seed two labelled series of a private histogram name and check every
+   renderer against the known layout: 5 bins over [0, 50). *)
+(* Lazy: the registry is global and cumulative, so the three renderer
+   tests must share one seeding pass. *)
+let seeded_heatmap =
+  lazy
+    (Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:50.0 ~bins:5 "test.heat";
+     let observe cells xs =
+       let labels = Obs.Labels.make [ ("buffer_cells", cells) ] in
+       List.iter (Obs.Registry.observe ~labels "test.heat") xs
+     in
+     observe "2000" [ 25.0; 35.0; 45.0; 60.0 ] (* 60 overflows *);
+     observe "100" [ 5.0; 5.0; 5.0; 15.0 ];
+     match
+       Obs.Heatmap.of_snapshot ~name:"test.heat" (Obs.Registry.snapshot ())
+     with
+     | Some hm -> hm
+     | None -> Alcotest.fail "seeded heatmap missing from snapshot")
+
+let seed_heatmap () = Lazy.force seeded_heatmap
+
+let index_of hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_heatmap_ascii () =
+  let hm = seed_heatmap () in
+  check_int "one row per buffer size" 2 (Obs.Heatmap.row_count hm);
+  let ascii = Obs.Heatmap.to_ascii hm in
+  check_true "header names metric, key and layout"
+    (contains_substring ascii
+       "test.heat by buffer_cells — 5 bins over [0, 50), width 10");
+  (match (index_of ascii "     100 | ", index_of ascii "    2000 | ") with
+  | Some small, Some large ->
+      check_true "rows sorted numerically, not lexically" (small < large)
+  | _ -> Alcotest.fail "expected one grid row per label");
+  check_true "row totals with under/overflow"
+    (contains_substring ascii "4 (0/1)");
+  check_true "scale legend present" (contains_substring ascii "row max")
+
+let test_heatmap_csv () =
+  let hm = seed_heatmap () in
+  let expected =
+    String.concat "\n"
+      [
+        "buffer_cells,bin_lo,bin_hi,count";
+        "100,0,10,3";
+        "100,10,20,1";
+        "100,20,30,0";
+        "100,30,40,0";
+        "100,40,50,0";
+        "2000,0,10,0";
+        "2000,10,20,0";
+        "2000,20,30,1";
+        "2000,30,40,1";
+        "2000,40,50,1";
+        "";
+      ]
+  in
+  Alcotest.(check string) "csv long-format golden" expected
+    (Obs.Heatmap.to_csv hm)
+
+let test_heatmap_html () =
+  let hm = seed_heatmap () in
+  let html = Obs.Heatmap.to_html hm in
+  check_true "self-contained document"
+    (contains_substring html "<!DOCTYPE html>");
+  check_true "auto-refresh wired"
+    (contains_substring html "http-equiv=\"refresh\"");
+  check_true "rows labelled" (contains_substring html "<th>2000</th>");
+  check_true "full cells are opaque"
+    (contains_substring html "rgba(97,175,239,1.000)");
+  check_true "empty cells are transparent"
+    (contains_substring html "rgba(97,175,239,0.000)")
+
 (* {2 JSON round-trip} *)
 
 let test_json_roundtrip () =
@@ -346,6 +660,7 @@ let test_prometheus_golden () =
               overflow = 1;
               sum = 48.0;
               count = 4;
+              exemplar = None;
             } );
         ];
     }
@@ -395,6 +710,19 @@ let suite =
     case "span: token-bucket trace sampling" test_span_sampling_token_bucket;
     case "span: sampling scoping and reset" test_span_sampling_scoping;
     case "span: sampling validation" test_span_sampling_validation;
+    case "trace: traceparent parse and round-trip" test_trace_parse_roundtrip;
+    case "trace: generated ids are well-formed" test_trace_generate;
+    case "trace: context scoping" test_trace_context_scoping;
+    case "trace: contexts are domain-local" test_trace_domain_isolation;
+    case "trace: span events carry the trace id" test_span_event_trace_field;
+    case "exemplar: traced observations stamp histograms"
+      test_exemplar_stamping;
+    case "exemplar: prometheus +Inf rendering" test_prometheus_exemplar;
+    case "runtime: GC counters are monotone" test_runtime_read_monotonic;
+    case "runtime: sample mirrors into gauges" test_runtime_sample;
+    case "heatmap: ascii grid" test_heatmap_ascii;
+    case "heatmap: csv golden" test_heatmap_csv;
+    case "heatmap: self-contained html" test_heatmap_html;
     case "json: encode/parse round-trip" test_json_roundtrip;
     case "json: rejects malformed input" test_json_rejects_garbage;
     case "sink: jsonl message round-trip" test_jsonl_message_roundtrip;

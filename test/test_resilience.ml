@@ -167,6 +167,58 @@ let test_breaker_lifecycle () =
   ignore (boom ());
   check_true "streak interrupted, still closed" (state b = Closed)
 
+(* Wall-clock mode: the cooldown elapses by time, not by absorbed
+   calls — the long-running-server configuration.  Not replay-
+   deterministic, so the sleeps here are real (and kept tiny). *)
+let test_breaker_wall_clock () =
+  let open Resilience.Guard.Breaker in
+  (match create ~cooldown_s:(-1.0) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative cooldown_s accepted");
+  (match create ~cooldown_s:Float.nan () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan cooldown_s accepted");
+  let b = create ~threshold:1 ~cooldown_s:0.05 ~label:"t" () in
+  check_true "created in wall-clock mode" (wall_clock b);
+  check_true "eval-count breakers report no wall cooldown"
+    (not (wall_clock (create ())));
+  check_true "no cooldown while closed" (cooldown_remaining_s b = None);
+  (match call b (fun () -> failwith "kernel") with
+  | Error (Failed (Failure _)) -> ()
+  | _ -> Alcotest.fail "first failure should surface the exception");
+  check_true "threshold 1: a single failure trips" (state b = Open);
+  (match cooldown_remaining_s b with
+  | Some r -> check_true "cooldown counting down" (r >= 0.0 && r <= 0.05)
+  | None -> Alcotest.fail "open wall-clock breaker must report remaining");
+  (* inside the cooldown window: fast-fail, thunk never runs *)
+  let ran = ref false in
+  (match
+     call b (fun () ->
+         ran := true;
+         0)
+   with
+  | Error Tripped -> ()
+  | _ -> Alcotest.fail "call inside the cooldown should fast-fail");
+  check_true "fast-fail never ran the thunk" (not !ran);
+  check_true "still open" (state b = Open);
+  (* past the window: the next call is the probe, and it recovers *)
+  Unix.sleepf 0.06;
+  check_true "cooldown spent" (cooldown_remaining_s b = Some 0.0);
+  check_true "probe runs and closes" (call b (fun () -> 1) = Ok 1);
+  check_true "recovered" (state b = Closed);
+  check_true "closed again: no cooldown" (cooldown_remaining_s b = None);
+  (* a failing probe re-trips and restarts the clock *)
+  ignore (call b (fun () -> failwith "kernel"));
+  check_true "re-tripped" (state b = Open);
+  Unix.sleepf 0.06;
+  (match call b (fun () -> failwith "kernel") with
+  | Error (Failed (Failure _)) -> ()
+  | _ -> Alcotest.fail "due probe should run (and here, fail)");
+  check_true "failed probe re-opens" (state b = Open);
+  (match cooldown_remaining_s b with
+  | Some r -> check_true "fresh cooldown restarted" (r > 0.0)
+  | None -> Alcotest.fail "re-opened breaker must report remaining")
+
 (* {2 Fail-closed engine degradation} *)
 
 let engine_with_link ?(capacity = 16140.0) ?max_retries ?breaker_threshold
@@ -483,6 +535,7 @@ let suite =
     case "bounded retry" test_guard_retry;
     case "deterministic budgets" test_guard_budget;
     case "breaker trip, half-open, recovery" test_breaker_lifecycle;
+    case "breaker wall-clock cooldowns" test_breaker_wall_clock;
     case "NaN kernel degrades fail-closed" test_engine_degrades_on_nan;
     case "degraded fill stops at the peak-rate boundary"
       test_engine_degraded_never_fails_open;

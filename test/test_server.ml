@@ -390,6 +390,284 @@ let test_overload_sheds_503 () =
           let st, _, _ = read_response (Io.reader c2) in
           check_int "queued request answered after drain" 200 st))
 
+(* {2 Trace correlation and introspection} *)
+
+let with_api ?(links = [ ("oc3", 16140.0, 20.0) ]) f =
+  let engine = Cac.Engine.create () in
+  List.iter
+    (fun (id, capacity, buffer_msec) ->
+      let (_ : Cac.Link.t) =
+        Cac.Engine.add_link_msec engine ~id ~capacity ~buffer_msec
+          ~target_clr:1e-6
+      in
+      ())
+    links;
+  f (Cac_api.create engine)
+
+(* Run one connection's worth of raw bytes through the worker body and
+   hand each response back through [read_response]. *)
+let serve_bytes router ~requests =
+  let pool = Pool.create ~config:{ Pool.default_config with domains = 1 } router in
+  with_socketpair (fun client server ->
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      Fun.protect
+        ~finally:(fun () -> ignore (Domain.join worker))
+        (fun () ->
+          let reader = Io.reader client in
+          List.map
+            (fun bytes ->
+              Io.write_string client bytes;
+              read_response reader)
+            requests))
+
+let response_body resp =
+  let s = Http.to_string ~keep_alive:false resp in
+  let rec scan i =
+    if i + 4 > String.length s then Alcotest.fail "response without header end"
+    else if String.sub s i 4 = "\r\n\r\n" then
+      String.sub s (i + 4) (String.length s - i - 4)
+    else scan (i + 1)
+  in
+  scan 0
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let test_traceparent_round_trip () =
+  let supplied = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01" in
+  match
+    serve_bytes (make_router ())
+      ~requests:
+        [
+          Printf.sprintf "GET /ping HTTP/1.1\r\ntraceparent: %s\r\n\r\n"
+            supplied;
+          "GET /ping HTTP/1.1\r\n\
+           traceparent: garbage\r\n\
+           connection: close\r\n\
+           \r\n";
+        ]
+  with
+  | [ (st1, hdrs1, _); (st2, hdrs2, _) ] -> (
+      check_int "traced request served" 200 st1;
+      check_str "supplied context echoed verbatim" supplied
+        (Option.value ~default:"?" (List.assoc_opt "traceparent" hdrs1));
+      check_int "malformed header still served" 200 st2;
+      match List.assoc_opt "traceparent" hdrs2 with
+      | None -> Alcotest.fail "no traceparent on the response"
+      | Some tp ->
+          check_true "generated replacement is well-formed"
+            (Obs.Trace.parse_traceparent tp <> None);
+          check_true "generated trace differs from the malformed input"
+            (not (contains_substring tp "garbage")))
+  | _ -> Alcotest.fail "expected two responses"
+
+(* The acceptance criterion for trace correlation: one decide request
+   against the real API router yields span events (request root + api
+   handler) all stamped with the peer's trace id. *)
+let test_trace_correlation_jsonl () =
+  let tid = "4bf92f3577b34da6a3ce929d0e0e4736" in
+  let path = Filename.temp_file "srv_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Obs.Span.set_trace_sink (Obs.Sink.Jsonl oc);
+          Fun.protect
+            ~finally:(fun () -> Obs.Span.set_trace_sink Obs.Sink.Null)
+            (fun () ->
+              with_api (fun api ->
+                  let body = {|{"link": "oc3", "class": "dar1"}|} in
+                  match
+                    serve_bytes (Cac_api.router api)
+                      ~requests:
+                        [
+                          Printf.sprintf
+                            "POST /v1/decide HTTP/1.1\r\n\
+                             traceparent: 00-%s-00f067aa0ba902b7-01\r\n\
+                             content-length: %d\r\n\
+                             connection: close\r\n\
+                             \r\n\
+                             %s"
+                            tid (String.length body) body;
+                        ]
+                  with
+                  | [ (st, _, resp) ] ->
+                      check_int "decide succeeded" 200 st;
+                      check_true "verdict answered"
+                        (contains_substring resp "admissible")
+                  | _ -> Alcotest.fail "expected one response")));
+      let events = List.filter_map Obs.Json.of_string (read_lines path) in
+      let span_traced name =
+        List.exists
+          (fun j ->
+            Obs.Json.member "name" j = Some (String name)
+            && Obs.Json.member "trace" j = Some (String tid))
+          events
+      in
+      check_true "request root span carries the peer's trace id"
+        (span_traced "srv.http.request");
+      check_true "api handler span carries the same trace id"
+        (span_traced "cac.api.decide"))
+
+let test_access_log () =
+  let path = Filename.temp_file "srv_access" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let prev = Obs.Sink.human_sink () in
+      Obs.Sink.set_human (Obs.Sink.Text oc);
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Sink.set_human prev;
+          close_out_noerr oc)
+        (fun () ->
+          let config =
+            { Pool.default_config with domains = 1; access_log = true }
+          in
+          let pool = Pool.create ~config (make_router ()) in
+          with_socketpair (fun client server ->
+              let worker =
+                Domain.spawn (fun () -> Pool.serve_connection pool server)
+              in
+              Fun.protect
+                ~finally:(fun () -> ignore (Domain.join worker))
+                (fun () ->
+                  Io.write_string client
+                    "GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n";
+                  let st, _, _ = read_response (Io.reader client) in
+                  check_int "request served" 200 st)));
+      match List.filter_map Obs.Json.of_string (read_lines path) with
+      | [ line ] ->
+          let f name = Obs.Json.member name line in
+          check_true "kind tagged" (f "kind" = Some (String "access"));
+          check_true "method logged" (f "method" = Some (String "GET"));
+          check_true "path logged" (f "path" = Some (String "/ping"));
+          check_true "status logged" (f "status" = Some (Int 200));
+          check_true "latency logged"
+            (match f "us" with Some (Float us) -> us >= 0.0 | _ -> false);
+          check_true "trace id logged"
+            (match f "trace" with
+            | Some (String tid) -> String.length tid = 32
+            | _ -> false)
+      | lines ->
+          Alcotest.failf "expected one access line, got %d" (List.length lines))
+
+let test_debug_vars () =
+  with_api @@ fun api ->
+  let api =
+    Cac_api.add_debug_provider api ~name:"test_section" (fun () ->
+        Obs.Json.Obj [ ("answer", Obs.Json.Int 42) ])
+  in
+  let api =
+    Cac_api.add_debug_provider api ~name:"test_broken" (fun () ->
+        failwith "provider bug")
+  in
+  let router = Cac_api.router api in
+  let _, resp = Router.dispatch router (req_for Http.GET "/debug/vars") in
+  check_int "debug vars answers" 200 (Http.status resp);
+  match Obs.Json.of_string (response_body resp) with
+  | None -> Alcotest.fail "unparseable /debug/vars body"
+  | Some doc ->
+      let f name = Obs.Json.member name doc in
+      check_true "uptime present"
+        (match f "uptime_s" with Some (Float u) -> u >= 0.0 | _ -> false);
+      check_true "clock source named"
+        (match f "clock_source" with
+        | Some (String s) -> String.length s > 0
+        | _ -> false);
+      (match f "gc" with
+      | Some gc ->
+          check_true "gc stats carry collection counts"
+            (match Obs.Json.member "minor_collections" gc with
+            | Some (Int n) -> n >= 0
+            | _ -> false)
+      | None -> Alcotest.fail "no gc section");
+      check_true "collector status reported"
+        (match f "runtime_collector" with
+        | Some (String s) -> List.mem s [ "never"; "live"; "stale" ]
+        | _ -> false);
+      check_true "registered provider rendered"
+        (match f "test_section" with
+        | Some s -> Obs.Json.member "answer" s = Some (Obs.Json.Int 42)
+        | None -> false);
+      check_true "throwing provider degrades, not 500s"
+        (f "test_broken" = Some (String "<provider error>"))
+
+let test_healthz_liveness_fields () =
+  with_api @@ fun api ->
+  (* A snapshot has certainly been taken by now (metrics tests above),
+     so the age must be a number, not null. *)
+  ignore (Obs.Registry.snapshot ());
+  let _, resp = Router.dispatch (Cac_api.router api) (req_for Http.GET "/healthz") in
+  check_int "healthz answers" 200 (Http.status resp);
+  match Obs.Json.of_string (response_body resp) with
+  | None -> Alcotest.fail "unparseable /healthz body"
+  | Some doc ->
+      let f name = Obs.Json.member name doc in
+      check_true "still reports ok" (f "status" = Some (String "ok"));
+      check_true "snapshot age reported"
+        (match f "snapshot_age_s" with Some (Float a) -> a >= 0.0 | _ -> false);
+      check_true "collector liveness reported"
+        (match f "runtime_collector" with
+        | Some (String s) -> List.mem s [ "never"; "live"; "stale" ]
+        | _ -> false);
+      check_true "collector age key present" (f "runtime_sample_age_s" <> None)
+
+let test_heatmap_endpoints () =
+  with_api ~links:[ ("oc3", 16140.0, 20.0); ("oc12", 64560.0, 120.0) ]
+  @@ fun api ->
+  let router = Cac_api.router api in
+  let decide link =
+    let req =
+      {
+        (req_for Http.POST "/v1/decide") with
+        Http.body = Printf.sprintf {|{"link": %S, "class": "dar1"}|} link;
+      }
+    in
+    let _, resp = Router.dispatch router req in
+    check_int (link ^ " decided") 200 (Http.status resp)
+  in
+  decide "oc3";
+  decide "oc12";
+  let _, resp = Router.dispatch router (req_for Http.GET "/heatmap") in
+  check_int "heatmap answers" 200 (Http.status resp);
+  let html = response_body resp in
+  check_true "self-contained html" (contains_substring html "<!DOCTYPE html>");
+  check_true "renders the m* metric" (contains_substring html "cts.m_star");
+  let _, resp = Router.dispatch router (req_for Http.GET "/heatmap.csv") in
+  check_int "csv answers" 200 (Http.status resp);
+  let csv = response_body resp in
+  check_true "csv header"
+    (contains_substring csv "buffer_cells,bin_lo,bin_hi,count");
+  (* two links with different total buffers → at least two distinct rows *)
+  let labels =
+    List.fold_left
+      (fun acc line ->
+        match String.index_opt line ',' with
+        | Some i ->
+            let label = String.sub line 0 i in
+            if label = "buffer_cells" || List.mem label acc then acc
+            else label :: acc
+        | None -> acc)
+      []
+      (String.split_on_char '\n' csv)
+  in
+  check_true "both buffer sizes render as rows" (List.length labels >= 2)
+
 (* {2 Loopback soak: the acceptance criterion}
 
    10k sequential decides over one keep-alive connection against the
@@ -477,6 +755,16 @@ let suite =
       test_handler_exception_contained;
     slow_case "pool: overload sheds 503 from the accept loop"
       test_overload_sheds_503;
+    case "trace: traceparent echoed and generated"
+      test_traceparent_round_trip;
+    case "trace: one decide, one correlated span tree"
+      test_trace_correlation_jsonl;
+    case "access log: one JSON line per request" test_access_log;
+    case "debug vars: gc, clock and providers" test_debug_vars;
+    case "healthz: snapshot age and collector liveness"
+      test_healthz_liveness_fields;
+    case "heatmap: per-buffer rows from live decides"
+      test_heatmap_endpoints;
     slow_case "daemon: 10k-request loopback soak + metrics scrape"
       test_soak_10k_decides;
   ]
