@@ -1,6 +1,6 @@
 # Convenience targets mirroring the CI workflow.
 
-.PHONY: all build test check lint lint-report bench clean
+.PHONY: all build test check lint lint-typed lint-report bench clean
 
 all: build
 
@@ -10,16 +10,23 @@ build:
 test:
 	dune runtest
 
-# Project static analysis (ctslint): numeric safety and
-# Domain-parallelism rules over lib/, bin/ and bench/.
-# See docs/static-analysis.md.
+# Project static analysis (ctslint, syntactic backend): numeric
+# safety and Domain-parallelism rules over lib/, bin/, bench/, test/
+# and examples/.  See docs/static-analysis.md.
 lint:
 	dune build @lint
 
-# Same, but also leave a machine-readable report in ctslint-report.json.
+# Typed backend over dune's .cmt typedtrees: real float types for
+# N1/N2 plus the F1/L1/E1 flow rules.  Builds @check first.
+lint-typed:
+	dune build @lint-typed
+
+# Same as lint, but also leave a machine-readable report in
+# ctslint-report.json and a SARIF log in ctslint.sarif.
 lint-report:
 	dune exec tools/ctslint/ctslint.exe -- --config .ctslint \
-	  --json ctslint-report.json lib bin bench
+	  --json ctslint-report.json --sarif ctslint.sarif \
+	  lib bin bench test examples
 
 # Tier-1 verification: what CI runs on every PR.
 check:

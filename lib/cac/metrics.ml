@@ -37,8 +37,8 @@ let create () =
   (* The registry histogram shares the instance histogram's shape, so
      merged exports and instance views bucket identically. *)
   assert (
-    Stats.Histogram.lo histogram = latency_lo_us
-    && Stats.Histogram.hi histogram = latency_hi_us
+    Float.equal (Stats.Histogram.lo histogram) latency_lo_us
+    && Float.equal (Stats.Histogram.hi histogram) latency_hi_us
     && Stats.Histogram.bins histogram = latency_bins);
   {
     admits = 0;

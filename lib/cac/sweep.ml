@@ -110,11 +110,14 @@ let evaluate scenario =
     cache_hit_rate;
   }
 
-(* [evaluate] plus per-task telemetry: one [cac.sweep.tasks] tick and a
-   duration observation, labelled by the worker slot (label sets are
-   fixed per worker, so sequential and parallel runs export the same
-   instrument names; only the per-worker split differs). *)
+(* [evaluate] plus per-task telemetry: a [cac.sweep.task] span (which
+   inherits the submitting domain's trace id — see [run]), one
+   [cac.sweep.tasks] tick and a duration observation, labelled by the
+   worker slot (label sets are fixed per worker, so sequential and
+   parallel runs export the same instrument names; only the
+   per-worker split differs). *)
 let evaluate_instrumented ~worker scenario =
+  Obs.Span.with_ ~name:"cac.sweep.task" @@ fun () ->
   let labels = Obs.Labels.make [ ("worker", string_of_int worker) ] in
   let t0 = Obs.Clock.monotonic_ns () in
   let row = evaluate scenario in
@@ -167,6 +170,14 @@ let run ?domains ?(task_retries = 1) scenarios =
     | None -> Stdlib.min (Domain.recommended_domain_count ()) (Stdlib.max 1 n)
   in
   let rows = Array.make n None in
+  (* Trace contexts are per-domain, so a freshly-spawned worker would
+     otherwise start traceless and its task spans could not be joined
+     to the caller's request.  Capture the submitting domain's
+     context once and restore it inside every worker. *)
+  let trace = Obs.Trace.current () in
+  let with_submitter_trace f =
+    match trace with Some t -> Obs.Trace.with_context t f | None -> f ()
+  in
   if domains <= 1 then
     Array.iteri
       (fun i s ->
@@ -175,6 +186,7 @@ let run ?domains ?(task_retries = 1) scenarios =
   else begin
     let next = Atomic.make 0 in
     let worker slot () =
+      with_submitter_trace @@ fun () ->
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin

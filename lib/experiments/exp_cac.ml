@@ -65,7 +65,9 @@ let run () =
     Array.to_list rows
     |> List.find_map (fun (row : Cac.Sweep.row) ->
            let s = row.Cac.Sweep.scenario in
-           if s.Cac.Sweep.class_name = name && s.Cac.Sweep.buffer_msec = buffer
+           if
+             s.Cac.Sweep.class_name = name
+             && Float.equal s.Cac.Sweep.buffer_msec buffer
            then Some row.Cac.Sweep.n_max
            else None)
     |> Option.get

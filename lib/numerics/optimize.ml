@@ -85,13 +85,13 @@ let brent ~f ~lo ~hi ~tol =
       end
       else begin
         if u < !x then a := u else b := u;
-        if fu <= !fw || !w = !x then begin
+        if fu <= !fw || Float.equal !w !x then begin
           v := !w;
           fv := !fw;
           w := u;
           fw := fu
         end
-        else if fu <= !fv || !v = !x || !v = !w then begin
+        else if fu <= !fv || Float.equal !v !x || Float.equal !v !w then begin
           v := u;
           fv := fu
         end

@@ -2,7 +2,7 @@ let simpson a b fa fm fb = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb)
 
 let adaptive_simpson ~f ~lo ~hi ~tol =
   assert (hi >= lo && tol > 0.0);
-  if hi = lo then 0.0
+  if Float.equal hi lo then 0.0
   else begin
     (* Each recursion level compares the two-panel estimate against the
        single-panel one; the factor 15 is the Richardson constant for

@@ -280,7 +280,13 @@ let serve t listen_fd =
               match queue_pop t.work with
               | Quit -> ()
               | Conn fd ->
-                  serve_connection t fd;
+                  (* A handler that raises must cost one response,
+                     never the worker domain: an escaping exception
+                     here would silently shrink the pool until the
+                     final [Domain.join]. *)
+                  Resilience.Guard.protect ~label:"srv.pool.worker"
+                    ~fallback:(fun _ -> ())
+                    (fun () -> serve_connection t fd);
                   work ()
             in
             work ()))
@@ -294,8 +300,12 @@ let serve t listen_fd =
   let observe_tick () =
     let depth = queue_depth t.work in
     Obs.Registry.set_gauge "srv.http.queue_depth" (float_of_int depth);
-    Obs.Registry.set_gauge "srv.http.queue_occupancy"
-      (float_of_int depth /. float_of_int t.config.queue_capacity);
+    (* 0/0 on an idle zero-capacity queue would poison the gauge. *)
+    let occupancy =
+      float_of_int depth /. float_of_int t.config.queue_capacity
+    in
+    if Float.is_finite occupancy then
+      Obs.Registry.set_gauge "srv.http.queue_occupancy" occupancy;
     ignore (Obs.Runtime.sample ())
   in
   let rec accept_loop () =

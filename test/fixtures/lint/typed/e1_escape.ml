@@ -1,0 +1,10 @@
+(* E1 positives: a route handler and a spawned task that can raise
+   with no catcher on the path. *)
+let parse_class name =
+  if name = "" then invalid_arg "class" else name
+
+let handler req = parse_class req
+
+let register router = Router.route router "/classify" handler
+
+let background () = Domain.spawn (fun () -> failwith "boom")

@@ -1,0 +1,24 @@
+(* F1 negatives: every flow below is cleansed, dominated by a
+   finiteness test, or explicitly waived. *)
+let guarded req =
+  let v = exp req in
+  if Float.is_finite v then Obs.Registry.observe "m" v
+
+let cleansed req =
+  let v = Resilience.Guard.finite ~label:"m" (exp req) in
+  Obs.Registry.observe "m" v
+
+let asserted req =
+  let v = exp req in
+  assert (Float.is_finite v);
+  Obs.Registry.observe "m" v
+
+let rebound req =
+  (* Rebinding through a guarded default clears the taint. *)
+  let v = exp req in
+  let v = if Float.is_finite v then v else 0.0 in
+  Obs.Registry.observe "m" v
+
+let waived req =
+  let v = exp req in
+  (Obs.Registry.observe "m" v [@lint.allow "F1"])

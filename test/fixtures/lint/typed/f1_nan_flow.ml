@@ -1,0 +1,8 @@
+(* F1 positives: NaN producers reaching decision sinks unguarded. *)
+let handler req =
+  let v = exp req in
+  Obs.Registry.observe "kernel.output" v
+
+let parse_and_serve s =
+  let x = float_of_string s in
+  Http.json x

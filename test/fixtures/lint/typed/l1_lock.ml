@@ -1,0 +1,15 @@
+(* L1 positives: blocking work under the engine mutex (directly and
+   through a lock-wrapper closure) and a spawn mutating bare state. *)
+let hits = ref 0
+
+let with_engine t f = Mutex.protect t (fun () -> f t)
+
+let slow_eval engine =
+  Unix.sleepf 0.25;
+  ignore engine
+
+let serve t = with_engine t (fun engine -> slow_eval engine)
+
+let direct t = Mutex.protect t (fun () -> Unix.sleepf 0.1)
+
+let fan_out () = Domain.spawn (fun () -> hits := !hits + 1)

@@ -1,0 +1,12 @@
+(* L1 negatives: pure work under the lock, Atomic state from spawns,
+   and a justified waiver on a deliberate injection point. *)
+let counter = Atomic.make 0
+
+let with_engine t f = Mutex.protect t (fun () -> f t)
+
+let serve t = with_engine t (fun engine -> 1 + engine)
+
+let fan_out () = Domain.spawn (fun () -> Atomic.incr counter)
+
+let chaos t =
+  (Mutex.protect t (fun () -> Unix.sleepf 0.1) [@lint.allow "L1"])

@@ -302,6 +302,56 @@ let test_sweep_parallel_equals_sequential () =
   check_int "no failed scenarios" 0
     (List.length (Cac.Sweep.failures sequential))
 
+(* Worker domains must restore the submitting domain's trace context:
+   every [cac.sweep.task] span emitted by a parallel run carries the
+   caller's trace id in the JSONL sink. *)
+let test_sweep_trace_inheritance () =
+  let scenarios =
+    Cac.Sweep.grid ~class_names:[ "dar1" ] ~buffers_msec:[ 5.0; 10.0 ]
+      ~target_clrs:[ 1e-6; 1e-9 ] ()
+  in
+  let trace = Obs.Trace.generate () in
+  let path = Filename.temp_file "sweep_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_trace_sink Obs.Sink.Null;
+      close_out_noerr oc)
+    (fun () ->
+      Obs.Span.set_trace_sink (Obs.Sink.Jsonl oc);
+      Obs.Trace.with_context trace (fun () ->
+          ignore (Cac.Sweep.run ~domains:3 scenarios)));
+  let lines = ref [] in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  let task_spans =
+    List.filter_map
+      (fun line ->
+        match Obs.Json.of_string line with
+        | Some j
+          when Obs.Json.member "name" j
+               = Some (Obs.Json.String "cac.sweep.task") ->
+            Some j
+        | _ -> None)
+      !lines
+  in
+  check_int "one task span per scenario" (List.length scenarios)
+    (List.length task_spans);
+  List.iter
+    (fun span ->
+      check_true "task span carries the submitter's trace id"
+        (Obs.Json.member "trace" span
+        = Some (Obs.Json.String trace.Obs.Trace.trace_id)))
+    task_spans
+
 let test_sweep_grid_shape () =
   let scenarios =
     Cac.Sweep.grid ~class_names:[ "dar1"; "l" ] ~buffers_msec:[ 10.0; 20.0; 30.0 ]
@@ -311,7 +361,7 @@ let test_sweep_grid_shape () =
   let seeds = List.map (fun s -> s.Cac.Sweep.seed) scenarios in
   check_int "per-scenario seeds distinct"
     (List.length seeds)
-    (List.length (List.sort_uniq compare seeds))
+    (List.length (List.sort_uniq Int.compare seeds))
 
 let suite =
   [
@@ -331,5 +381,6 @@ let suite =
     case "workload deterministic" test_workload_deterministic;
     case "steady-state cache hits" test_workload_steady_state_cache_hits;
     case "sweep parallel = sequential" test_sweep_parallel_equals_sequential;
+    case "sweep trace inheritance" test_sweep_trace_inheritance;
     case "sweep grid shape" test_sweep_grid_shape;
   ]

@@ -18,7 +18,7 @@ let series_values (s : Experiments.Common.series) = Array.map snd s.points
 let test_registry_unique_ids () =
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
   check_int "no duplicate ids" (List.length ids)
-    (List.length (List.sort_uniq compare ids));
+    (List.length (List.sort_uniq String.compare ids));
   check_true "find works" (Experiments.Registry.find "fig4" <> None);
   check_true "find rejects junk" (Experiments.Registry.find "nope" = None)
 

@@ -100,7 +100,7 @@ let test_counts_nonnegative_integers () =
   let next = process.Traffic.Process.spawn (rng ~seed:95 ()) in
   for _ = 1 to 5_000 do
     let v = next () in
-    check_true "integer count" (Float.rem v 1.0 = 0.0);
+    check_true "integer count" (Float.equal (Float.rem v 1.0) 0.0);
     check_true "non-negative" (v >= 0.0)
   done
 

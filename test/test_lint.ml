@@ -165,6 +165,11 @@ let test_config_parse () =
   | _ -> Alcotest.fail "valueless directive accepted"
   | exception Failure _ -> ()
 
+let has_sub sub s =
+  let ls = String.length s and lu = String.length sub in
+  let rec go i = i + lu <= ls && (String.sub s i lu = sub || go (i + 1)) in
+  lu = 0 || go 0
+
 let test_path_matching () =
   let m = Lint_config.matches in
   Alcotest.(check bool) "direct prefix" true (m "lib/core/cts.ml" "lib/core");
@@ -176,6 +181,200 @@ let test_path_matching () =
     (m "lib/misc/core/x.ml" "lib/core");
   Alcotest.(check bool) "./ and duplicate slashes are normalized" true
     (m "./lib//core/cts.ml" "lib/core")
+
+let test_normalize () =
+  let n = Lint_config.normalize in
+  let c = Alcotest.(check (list string)) in
+  c "trailing slash dropped" [ "lib"; "core" ] (n "lib/core/");
+  c "doubled separator collapsed" [ "lib"; "core" ] (n "lib//core");
+  c "leading ./ stripped" [ "lib" ] (n "./lib");
+  c "dot segments vanish" [ "lib"; "core" ] (n "lib/./core");
+  c "degenerate patterns normalize to nothing" [] (n "/");
+  c "bare dot too" [] (n ".");
+  match Lint_config.of_string "# policy\nexclude /\n" with
+  | _ -> Alcotest.fail "pattern that can never match was accepted"
+  | exception Failure msg ->
+      Alcotest.(check bool) "rejection says why, with the line number" true
+        (has_sub "normalizes to nothing" msg && has_sub "line 2" msg)
+
+(* {2 F1 / L1 / E1: flow rules over the typed fixture set} *)
+
+let flow ~as_path name =
+  Lint_driver.flow_file ~cfg ~as_path (fixture (Filename.concat "typed" name))
+  |> List.map (fun f ->
+         Printf.sprintf "%d:%d %s" f.Lint_finding.line f.Lint_finding.col
+           f.Lint_finding.rule)
+
+let test_f1_positive () =
+  check "NaN sources reaching registry and HTTP sinks are flagged"
+    [ "4:2 F1"; "8:2 F1" ]
+    (flow ~as_path:"lib/misc/f1_nan_flow.ml" "f1_nan_flow.ml")
+
+let test_f1_guarded () =
+  check "guard test, Guard.finite, assert, rebind and waiver all pass" []
+    (flow ~as_path:"lib/misc/f1_guarded.ml" "f1_guarded.ml")
+
+let test_l1_positive () =
+  check
+    "blocking under the lock (direct and through a wrapper closure) and a \
+     spawn mutating bare toplevel state"
+    [ "11:14 L1"; "13:15 L1"; "15:17 L1" ]
+    (flow ~as_path:"lib/misc/l1_lock.ml" "l1_lock.ml")
+
+let test_l1_negative () =
+  check "pure critical sections, Atomic state and waivers stay quiet" []
+    (flow ~as_path:"lib/misc/l1_negative.ml" "l1_negative.ml")
+
+let test_e1_positive () =
+  check "route handlers and spawned tasks that can raise uncaught"
+    [ "8:22 E1"; "10:20 E1" ]
+    (flow ~as_path:"lib/misc/e1_escape.ml" "e1_escape.ml")
+
+let test_e1_chain () =
+  let msgs =
+    Lint_driver.flow_file ~cfg ~as_path:"lib/misc/e1_escape.ml"
+      (fixture "typed/e1_escape.ml")
+    |> List.map (fun f -> f.Lint_finding.msg)
+  in
+  Alcotest.(check bool) "the handler finding spells out the call chain" true
+    (List.exists
+       (fun m -> has_sub "via" m && has_sub "parse_class" m)
+       msgs)
+
+let test_e1_guarded () =
+  check "local try, a Guard.protect fence and a waiver keep E1 quiet" []
+    (flow ~as_path:"lib/misc/e1_guarded.ml" "e1_guarded.ml")
+
+(* {2 Typed backend: .cmt loading, precision and cross-backend dedup}
+
+   The suite cannot assume a dune build of itself, so it makes its own
+   typedtrees: write a module to a scratch directory, compile it with
+   [ocamlc -bin-annot] (artifacts land beside the source, and
+   [cmt_sourcefile] records the absolute path we scan by) and point
+   the loader's [build_root] at the directory. *)
+
+let temp_dir () =
+  let stamp = Filename.temp_file "ctslint_typed" ".d" in
+  Sys.remove stamp;
+  if Sys.command (Printf.sprintf "mkdir -p %s" (Filename.quote stamp)) <> 0
+  then Alcotest.fail "cannot create scratch directory";
+  stamp
+
+let write_module dir name src =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  path
+
+let compile_with_cmt dir name src =
+  let path = write_module dir name src in
+  let cmd =
+    Printf.sprintf "ocamlc -bin-annot -c %s 2>/dev/null" (Filename.quote path)
+  in
+  if Sys.command cmd <> 0 then Alcotest.failf "ocamlc failed on %s" name;
+  path
+
+let test_typed_precision () =
+  let dir = temp_dir () in
+  let path = compile_with_cmt dir "precision.ml" "let eq (a : float) b = a = b\n" in
+  let syntactic = Lint_driver.run ~cfg [ path ] in
+  Alcotest.(check int) "no literal in sight: the syntactic backend is blind" 0
+    (List.length syntactic.Lint_driver.findings);
+  let typed =
+    Lint_driver.run ~backend:Lint_driver.Typed ~build_root:dir ~cfg [ path ]
+  in
+  match typed.Lint_driver.findings with
+  | [ f ] ->
+      Alcotest.(check string) "the typedtree knows (=) compares floats" "N1"
+        f.Lint_finding.rule
+  | fs ->
+      Alcotest.failf "expected exactly one typed finding, got %d"
+        (List.length fs)
+
+let test_backend_both_dedup () =
+  let dir = temp_dir () in
+  let path = compile_with_cmt dir "bad.ml" "let bad x = x = 1.0\n" in
+  let report =
+    Lint_driver.run ~backend:Lint_driver.Both ~build_root:dir ~cfg [ path ]
+  in
+  match report.Lint_driver.findings with
+  | [ f ] ->
+      Alcotest.(check string)
+        "both backends fire at the same spot; dedup keeps one" "N1"
+        f.Lint_finding.rule
+  | fs ->
+      Alcotest.failf "expected one deduplicated finding, got %d: %s"
+        (List.length fs)
+        (String.concat "; " (List.map Lint_finding.to_string fs))
+
+let test_typed_missing_cmt () =
+  let dir = temp_dir () in
+  let path = write_module dir "orphan.ml" "let x = 1\n" in
+  let report =
+    Lint_driver.run ~backend:Lint_driver.Typed ~build_root:dir ~cfg [ path ]
+  in
+  match report.Lint_driver.findings with
+  | [ f ] ->
+      Alcotest.(check string) "a missing .cmt is a T0 finding, not silence"
+        "T0" f.Lint_finding.rule
+  | fs ->
+      Alcotest.failf "expected exactly one T0 finding, got %d"
+        (List.length fs)
+
+(* {2 SARIF export} *)
+
+let test_sarif_shape () =
+  let findings =
+    Lint_driver.flow_file ~cfg ~as_path:"lib/misc/f1_nan_flow.ml"
+      (fixture "typed/f1_nan_flow.ml")
+  in
+  Alcotest.(check int) "fixture premise: two findings" 2 (List.length findings);
+  let sarif = Lint_sarif.of_findings ~tool_version:"0-test" findings in
+  Alcotest.(check bool) "serialized SARIF round-trips through the parser" true
+    (Obs.Json.of_string (Lint_sarif.to_string ~tool_version:"0-test" findings)
+    = Some sarif);
+  let mem k j =
+    match Obs.Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "SARIF object is missing %S" k
+  in
+  let str j = match j with Obs.Json.String s -> s | _ -> "" in
+  let int_ j = match j with Obs.Json.Int i -> i | _ -> -1 in
+  Alcotest.(check string) "schema version" "2.1.0" (str (mem "version" sarif));
+  Alcotest.(check bool) "$schema points at sarif-2.1.0" true
+    (has_sub "sarif" (str (mem "$schema" sarif)));
+  let run0 =
+    match mem "runs" sarif with
+    | Obs.Json.List [ r ] -> r
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver = mem "driver" (mem "tool" run0) in
+  Alcotest.(check string) "driver name" "ctslint" (str (mem "name" driver));
+  Alcotest.(check string) "driver version" "0-test"
+    (str (mem "version" driver));
+  (match mem "rules" driver with
+  | Obs.Json.List rules ->
+      Alcotest.(check (list string)) "only fired rules are declared" [ "F1" ]
+        (List.map (fun r -> str (mem "id" r)) rules)
+  | _ -> Alcotest.fail "driver.rules is not a list");
+  match mem "results" run0 with
+  | Obs.Json.List (first :: _ as results) ->
+      Alcotest.(check int) "one result per finding" (List.length findings)
+        (List.length results);
+      Alcotest.(check string) "ruleId" "F1" (str (mem "ruleId" first));
+      let region =
+        mem "region"
+          (mem "physicalLocation"
+             (match mem "locations" first with
+             | Obs.Json.List [ l ] -> l
+             | _ -> Alcotest.fail "expected one location"))
+      in
+      Alcotest.(check int) "startLine is as reported" 4
+        (int_ (mem "startLine" region));
+      Alcotest.(check int) "startColumn is 1-based" 3
+        (int_ (mem "startColumn" region))
+  | _ -> Alcotest.fail "run.results is not a non-empty list"
 
 let suite =
   [
@@ -199,4 +398,16 @@ let suite =
     Alcotest.test_case "syntax error -> P0" `Quick test_syntax_error;
     Alcotest.test_case "config parsing" `Quick test_config_parse;
     Alcotest.test_case "path matching" `Quick test_path_matching;
+    Alcotest.test_case "path normalization" `Quick test_normalize;
+    Alcotest.test_case "f1 positive" `Quick test_f1_positive;
+    Alcotest.test_case "f1 guarded/waived" `Quick test_f1_guarded;
+    Alcotest.test_case "l1 positive" `Quick test_l1_positive;
+    Alcotest.test_case "l1 negative/waived" `Quick test_l1_negative;
+    Alcotest.test_case "e1 positive" `Quick test_e1_positive;
+    Alcotest.test_case "e1 chain message" `Quick test_e1_chain;
+    Alcotest.test_case "e1 guarded/waived" `Quick test_e1_guarded;
+    Alcotest.test_case "typed precision" `Quick test_typed_precision;
+    Alcotest.test_case "both backends dedup" `Quick test_backend_both_dedup;
+    Alcotest.test_case "typed missing cmt -> T0" `Quick test_typed_missing_cmt;
+    Alcotest.test_case "sarif shape" `Quick test_sarif_shape;
   ]

@@ -66,7 +66,7 @@ let test_sample_quantiles () =
   let samples =
     Array.init 100_000 (fun _ -> Traffic.Onoff_dist.sample dist a)
   in
-  Array.sort compare samples;
+  Array.sort Float.compare samples;
   List.iter
     (fun q ->
       let x = samples.(int_of_float (q *. 100_000.0)) in

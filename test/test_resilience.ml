@@ -245,7 +245,7 @@ let test_engine_degrades_on_nan () =
       (Cac.Source_class.peak cls) bw
   | None -> Alcotest.fail "degraded verdict must report its allocation");
   check_true "no BOP from a degraded decision"
-    (v.Cac.Engine.log10_bop = None)
+    (Option.is_none v.Cac.Engine.log10_bop)
 
 let test_engine_degraded_never_fails_open () =
   (* The chaos invariant: under total kernel failure the engine admits

@@ -7,23 +7,49 @@
 open Ctslint_lib
 
 let usage =
-  "ctslint [--config FILE] [--json FILE] [--quiet] [PATH...]\n\
+  "ctslint [--backend typed|syntactic|both] [--config FILE] [--json FILE]\n\
+  \        [--sarif FILE] [--flow] [--quiet] [PATH...]\n\
    Lints every .ml under the given paths (default: lib bin bench)\n\
-   against the project rules N1 N2 C1 C2 H1; exits 1 on findings."
+   against the project rules N1 N2 C1 C2 H1 F1 L1 E1; exits 1 on\n\
+   findings.  The typed backend reads dune's .cmt artifacts (build\n\
+   them with `dune build @check`) and refuses to degrade silently —\n\
+   a source with no .cmt is a T0 finding."
 
 let () =
   let config_path = ref None in
   let json_path = ref None in
+  let sarif_path = ref None in
+  let backend = ref Lint_driver.Syntactic in
+  let flow = ref false in
   let quiet = ref false in
   let paths = ref [] in
+  let set_backend = function
+    | "syntactic" -> backend := Lint_driver.Syntactic
+    | "typed" -> backend := Lint_driver.Typed
+    | "both" -> backend := Lint_driver.Both
+    | other ->
+        Printf.eprintf
+          "ctslint: unknown backend %S (expected typed|syntactic|both)\n"
+          other;
+        exit 2
+  in
   let spec =
     [
+      ( "--backend",
+        Arg.String set_backend,
+        "WHICH analysis backend: syntactic (default), typed, or both" );
       ( "--config",
         Arg.String (fun s -> config_path := Some s),
         "FILE read policy from FILE (default: .ctslint if present)" );
       ( "--json",
         Arg.String (fun s -> json_path := Some s),
         "FILE also write a machine-readable report to FILE" );
+      ( "--sarif",
+        Arg.String (fun s -> sarif_path := Some s),
+        "FILE also write a SARIF 2.1.0 log to FILE (code scanning)" );
+      ( "--flow",
+        Arg.Set flow,
+        " run the F1/L1/E1 flow rules under the syntactic backend too" );
       ("--quiet", Arg.Set quiet, " suppress the human-readable report");
     ]
   in
@@ -53,7 +79,7 @@ let () =
     Printf.eprintf "ctslint: no such path: %s\n" (String.concat ", " missing);
     exit 2
   end;
-  let report = Lint_driver.run ~cfg paths in
+  let report = Lint_driver.run ~backend:!backend ~flow:!flow ~cfg paths in
   if not !quiet then Lint_driver.print_report report;
   (match !json_path with
   | None -> ()
@@ -62,4 +88,7 @@ let () =
       output_string oc (Obs.Json.to_string (Lint_driver.report_to_json report));
       output_char oc '\n';
       close_out oc);
+  (match !sarif_path with
+  | None -> ()
+  | Some path -> Lint_sarif.write ~path report.Lint_driver.findings);
   exit (if report.Lint_driver.findings = [] then 0 else 1)

@@ -84,19 +84,44 @@ let parse_line t lineno line =
     if value = "" then
       failwith (Printf.sprintf "line %d: directive %S needs a value" lineno key)
     else
+      (* Path patterns normalize before matching ([lib//core] and
+         [lib/core/] both mean [lib/core]); one that normalizes to
+         nothing ([/], [./], [.]) would never match anything, so
+         reject it here instead of silently ignoring the directive. *)
+      let path_pattern v =
+        if normalize v = [] then
+          failwith
+            (Printf.sprintf
+               "line %d: path pattern %S normalizes to nothing and would \
+                never match"
+               lineno v)
+        else v
+      in
       match key with
-      | "exclude" -> { t with excludes = t.excludes @ [ value ] }
+      | "exclude" -> { t with excludes = t.excludes @ [ path_pattern value ] }
       | "allow-toplevel-state" ->
-          { t with allow_toplevel_state = t.allow_toplevel_state @ [ value ] }
+          {
+            t with
+            allow_toplevel_state =
+              t.allow_toplevel_state @ [ path_pattern value ];
+          }
       | "float-field" -> { t with float_fields = t.float_fields @ [ value ] }
       | "float-ident" -> { t with float_idents = t.float_idents @ [ value ] }
-      | "kernel-path" -> { t with kernel_paths = t.kernel_paths @ [ value ] }
+      | "kernel-path" ->
+          { t with kernel_paths = t.kernel_paths @ [ path_pattern value ] }
       | "domain-spawn-path" ->
-          { t with domain_spawn_paths = t.domain_spawn_paths @ [ value ] }
-      | "clock-path" -> { t with clock_paths = t.clock_paths @ [ value ] }
-      | "printf-allow" -> { t with printf_allow = t.printf_allow @ [ value ] }
-      | "mli-exempt" -> { t with mli_exempt = t.mli_exempt @ [ value ] }
-      | "lib-prefix" -> { t with lib_prefixes = t.lib_prefixes @ [ value ] }
+          {
+            t with
+            domain_spawn_paths = t.domain_spawn_paths @ [ path_pattern value ];
+          }
+      | "clock-path" ->
+          { t with clock_paths = t.clock_paths @ [ path_pattern value ] }
+      | "printf-allow" ->
+          { t with printf_allow = t.printf_allow @ [ path_pattern value ] }
+      | "mli-exempt" ->
+          { t with mli_exempt = t.mli_exempt @ [ path_pattern value ] }
+      | "lib-prefix" ->
+          { t with lib_prefixes = t.lib_prefixes @ [ path_pattern value ] }
       | _ -> failwith (Printf.sprintf "line %d: unknown directive %S" lineno key)
 
 let of_string src =

@@ -30,7 +30,14 @@ val load : string -> t
 (** Path predicates.  Patterns match when their [/]-separated
     components appear contiguously anywhere in the path, so
     [lib/core] matches both [lib/core/cts.ml] and
-    [test/fixtures/lint/lib/core/bad.ml]. *)
+    [test/fixtures/lint/lib/core/bad.ml].  Both sides normalize
+    first: a trailing [/], a doubled separator ([lib//core]) or [./]
+    segments change nothing.  A pattern that normalizes to nothing is
+    rejected at config-parse time (it could never match). *)
+
+val normalize : string -> string list
+(** [/]-separated components with empty and ["."] segments dropped
+    and a leading ["./"] stripped. *)
 
 val matches : string -> string -> bool
 val excluded : t -> string -> bool

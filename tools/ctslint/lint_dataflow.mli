@@ -1,0 +1,16 @@
+(** F1 — intraprocedural NaN dataflow.
+
+    Forward taint from NaN-producing sources ([exp]/[log]/[( /. )]/
+    [( ** )], [Float.of_string], numbers destructured out of parsed
+    JSON) to decision sinks ([Cac.Engine] calls, [Obs.Registry]
+    observations, serialized HTTP responses), reporting only flows
+    with no dominating finiteness guard ([Guard.finite],
+    [Float.is_finite], [classify_float], or an [assert] over one).
+
+    Runs on any parsetree; with [facts] (typed backend) callee names
+    resolve through typedtree paths, so aliased or [open]ed sinks and
+    sources are still seen.  [[@lint.allow "F1"]] waivers apply. *)
+
+val run :
+  ?facts:Lint_facts.t -> file:string -> Parsetree.structure ->
+  Lint_finding.t list

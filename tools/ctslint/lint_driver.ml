@@ -1,3 +1,5 @@
+type backend = Syntactic | Typed | Both
+
 type report = {
   findings : Lint_finding.t list;
   files_scanned : int;
@@ -33,9 +35,11 @@ let parse_implementation ~file src =
   Lexing.set_filename lexbuf file;
   Parse.implementation lexbuf
 
-let lint_source ~cfg ~file src =
+(* [Ok structure] or the single [P0] finding standing in for it, so a
+   broken file cannot hide other findings or crash CI. *)
+let parse_result ~file src =
   match parse_implementation ~file src with
-  | structure -> Lint_rules.run ~cfg ~file structure
+  | structure -> Ok structure
   | exception exn ->
       let line, col, detail =
         match exn with
@@ -50,14 +54,37 @@ let lint_source ~cfg ~file src =
               "lexer error" )
         | exn -> (1, 0, Printexc.to_string exn)
       in
-      [
-        Lint_finding.at ~file ~line ~col ~rule:"P0"
-          (Printf.sprintf "cannot parse: %s" detail);
-      ]
+      Error
+        (Lint_finding.at ~file ~line ~col ~rule:"P0"
+           (Printf.sprintf "cannot parse: %s" detail))
+
+let lint_source ~cfg ~file src =
+  match parse_result ~file src with
+  | Ok structure -> Lint_rules.run ~cfg ~file structure
+  | Error finding -> [ finding ]
 
 let lint_file ~cfg ?as_path path =
   let file = match as_path with Some p -> p | None -> path in
   lint_source ~cfg ~file (read_file path)
+
+(* One file through the flow rules alone (F1 intraprocedural, L1/E1
+   on a single-module call graph) — the fixture-test entry point. *)
+let flow_file ~cfg ?as_path path =
+  let file = match as_path with Some p -> p | None -> path in
+  match parse_result ~file (read_file path) with
+  | Error finding -> [ finding ]
+  | Ok structure ->
+      let input =
+        {
+          Lint_callgraph.file;
+          modname = Lint_callgraph.modname_of_path file;
+          structure;
+          facts = None;
+        }
+      in
+      List.sort Lint_finding.order
+        (Lint_dataflow.run ~file structure
+        @ Lint_callgraph.run ~cfg [ input ])
 
 (* Every library implementation needs a matching interface: the .mli
    is where invariants on the numeric API live, and an absent one
@@ -78,14 +105,107 @@ let check_mli_pairing ~cfg files =
       else None)
     files
 
-let run ~cfg paths =
+(* -- backends ------------------------------------------------------ *)
+
+(* Flow passes (F1 intraprocedural, L1/E1 whole-program) over a set
+   of parsed inputs.  They run on parsetrees, so the syntactic
+   backend can host them too ([flow:true]) — without facts they see
+   source spellings only. *)
+let flow_findings ~cfg inputs =
+  List.concat_map
+    (fun (i : Lint_callgraph.input) ->
+      Lint_dataflow.run ?facts:i.facts ~file:i.file i.structure)
+    inputs
+  @ Lint_callgraph.run ~cfg inputs
+
+let syntactic_pass ~flow ~cfg files =
+  let inputs, parse_failures =
+    List.fold_left
+      (fun (inputs, failures) file ->
+        match parse_result ~file (read_file file) with
+        | Ok structure ->
+            ( {
+                Lint_callgraph.file;
+                modname = Lint_callgraph.modname_of_path file;
+                structure;
+                facts = None;
+              }
+              :: inputs,
+              failures )
+        | Error f -> (inputs, f :: failures))
+      ([], []) files
+  in
+  let inputs = List.rev inputs in
+  parse_failures
+  @ List.concat_map
+      (fun (i : Lint_callgraph.input) ->
+        Lint_rules.run ~cfg ~file:i.file i.structure)
+      inputs
+  @ (if flow then flow_findings ~cfg inputs else [])
+
+(* The typed backend refuses to silently degrade: a source with no
+   loadable .cmt gets a T0 finding instead of a quiet fallback, so
+   "typed clean" always means every module was actually typechecked
+   (`dune build @check` produces the artifacts). *)
+let typed_pass ~cfg ~build_root files =
+  let index = Lint_typed_loader.index ~build_root in
+  let inputs, load_failures =
+    List.fold_left
+      (fun (inputs, failures) file ->
+        match Lint_typed_loader.load ~index ~source:file with
+        | Ok loaded ->
+            ( {
+                Lint_callgraph.file;
+                modname = loaded.Lint_typed_loader.modname;
+                structure = loaded.Lint_typed_loader.structure;
+                facts = Some loaded.Lint_typed_loader.facts;
+              }
+              :: inputs,
+              failures )
+        | Error msg ->
+            ( inputs,
+              Lint_finding.at ~file ~line:1 ~col:0 ~rule:"T0"
+                (Printf.sprintf
+                   "typed backend: %s (run `dune build @check` first)" msg)
+              :: failures ))
+      ([], []) files
+  in
+  let inputs = List.rev inputs in
+  load_failures
+  @ List.concat_map
+      (fun (i : Lint_callgraph.input) ->
+        Lint_rules.run ?facts:i.facts ~cfg ~file:i.file i.structure)
+      inputs
+  @ flow_findings ~cfg inputs
+
+(* Two backends over the same tree report the same defect at the same
+   position under the same rule; keep one (the earlier in the stable
+   order, i.e. the syntactic spelling) and drop the echo. *)
+let dedup findings =
+  let key (f : Lint_finding.t) = (f.file, f.line, f.col, f.rule) in
+  let rec keep_first = function
+    | a :: b :: tl when key a = key b -> keep_first (a :: tl)
+    | a :: tl -> a :: keep_first tl
+    | [] -> []
+  in
+  keep_first (List.stable_sort Lint_finding.order findings)
+
+let run ?(backend = Syntactic) ?(flow = false) ?build_root ~cfg paths =
+  let build_root =
+    match build_root with
+    | Some r -> r
+    | None -> Lint_typed_loader.default_build_root ()
+  in
   let files = collect cfg paths in
   let findings =
-    List.concat_map (fun file -> lint_file ~cfg file) files
+    (match backend with
+    | Syntactic -> syntactic_pass ~flow ~cfg files
+    | Typed -> typed_pass ~cfg ~build_root files
+    | Both ->
+        syntactic_pass ~flow ~cfg files @ typed_pass ~cfg ~build_root files)
     @ check_mli_pairing ~cfg files
   in
-  { findings = List.sort Lint_finding.order findings;
-    files_scanned = List.length files }
+  { findings = dedup findings; files_scanned = List.length files }
 
 (* -- reporting ----------------------------------------------------- *)
 
@@ -103,7 +223,7 @@ let report_to_json t =
   Obs.Json.Obj
     [
       ("tool", Obs.Json.String "ctslint");
-      ("version", Obs.Json.Int 1);
+      ("version", Obs.Json.Int 2);
       ("files_scanned", Obs.Json.Int t.files_scanned);
       ( "counts",
         Obs.Json.Obj

@@ -1,0 +1,32 @@
+(* Type facts harvested from a .cmt typedtree, keyed by the character
+   offset of the expression they describe.  Locations survive
+   [Untypeast] unchanged, so a fact recorded against a typedtree node
+   applies verbatim to the corresponding parsetree node the rule
+   walkers see: the rules stay written once, against the parsetree,
+   and consult this table when the typed backend produced one. *)
+
+type t = {
+  (* offset -> "this expression has type float" (true) or "has a
+     known non-float type" (false).  Offsets absent from the table
+     carry no type information (e.g. synthesized nodes). *)
+  floats : (int, bool) Hashtbl.t;
+  (* offset of an identifier expression -> fully-resolved dotted path
+     ("Stdlib.exp", "Cac.Engine.evaluate"), dune wrapping unmangled. *)
+  resolved : (int, string) Hashtbl.t;
+}
+
+let create () = { floats = Hashtbl.create 256; resolved = Hashtbl.create 256 }
+
+let record_type t ~offset ~is_float =
+  (* First write wins: the outermost node at an offset is recorded
+     first by the top-down iterator and is the one the parsetree
+     walker asks about. *)
+  if not (Hashtbl.mem t.floats offset) then
+    Hashtbl.replace t.floats offset is_float
+
+let record_resolved t ~offset name =
+  if not (Hashtbl.mem t.resolved offset) then
+    Hashtbl.replace t.resolved offset name
+
+let float_typed t offset = Hashtbl.find_opt t.floats offset
+let resolve t offset = Hashtbl.find_opt t.resolved offset

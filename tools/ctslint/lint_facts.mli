@@ -1,0 +1,25 @@
+(** Type facts harvested from a typedtree, keyed by character offset.
+
+    The typed backend loads a [.cmt], walks its typedtree recording
+    per-expression type information and resolved identifier paths,
+    then untypes it back to a parsetree for the shared rule walkers.
+    Locations are preserved by [Untypeast], so offset-keyed facts
+    line up exactly with the parsetree nodes the rules inspect. *)
+
+type t
+
+val create : unit -> t
+
+val record_type : t -> offset:int -> is_float:bool -> unit
+(** Record whether the outermost expression starting at [offset] has
+    type [float].  The first record at an offset wins. *)
+
+val record_resolved : t -> offset:int -> string -> unit
+(** Record the fully-resolved dotted path of the identifier expression
+    at [offset] (dune's [Lib__Module] wrapping already unmangled). *)
+
+val float_typed : t -> int -> bool option
+(** [Some true] float, [Some false] known non-float, [None] no type
+    information at this offset. *)
+
+val resolve : t -> int -> string option

@@ -11,6 +11,11 @@ open Parsetree
 type ctx = {
   cfg : Lint_config.t;
   file : string;
+  (* Typed facts from the .cmt backend; [None] on the syntactic
+     backend.  When present, N1 asks the typechecker's answer instead
+     of the float smell, and callee names resolve through the
+     typedtree paths. *)
+  facts : Lint_facts.t option;
   (* Findings paired with their start character offset, so waiver
      spans (also character offsets) can be applied after the walk. *)
   mutable findings : (int * Lint_finding.t) list;
@@ -42,6 +47,33 @@ let ident_name e =
   match e.pexp_desc with
   | Pexp_ident { txt; _ } -> Some (lid_name txt)
   | _ -> None
+
+(* "Stdlib.exp" -> "exp", "Stdlib.Float.pow" -> "Float.pow": resolved
+   paths are spelled the way the syntactic name lists expect. *)
+let strip_stdlib n =
+  if String.length n > 7 && String.sub n 0 7 = "Stdlib." then
+    String.sub n 7 (String.length n - 7)
+  else n
+
+(* The full path an identifier resolves to (typed facts), or its
+   source spelling. *)
+let resolved_name ctx e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match ctx.facts with
+      | Some facts -> (
+          match
+            Lint_facts.resolve facts e.pexp_loc.Location.loc_start.pos_cnum
+          with
+          | Some n -> Some n
+          | None -> Some (lid_name txt))
+      | None -> Some (lid_name txt))
+  | _ -> None
+
+(* The name an applied identifier actually denotes, spelled the way
+   the syntactic name lists expect ([Stdlib.] stripped): with facts,
+   aliases and [open]s cannot hide a kernel call. *)
+let called_name ctx e = Option.map strip_stdlib (resolved_name ctx e)
 
 let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
 
@@ -142,15 +174,63 @@ let record_floating_waiver ctx (attr : attribute) =
       ctx.waivers <- (rules, attr.attr_loc.loc_start.pos_cnum, max_int)
       :: ctx.waivers
 
-let waived ctx rule offset =
+type waivers = (string list * int * int) list
+
+let span_waived waivers ~rule offset =
   List.exists
     (fun (rules, lo, hi) ->
       offset >= lo && offset <= hi && (rules = [] || List.mem rule rules))
-    ctx.waivers
+    waivers
+
+let waived ctx rule offset = span_waived ctx.waivers ~rule offset
+
+(* Standalone waiver harvest for the flow passes (F1/L1/E1 run
+   outside this module's iterator but honor the same [@lint.allow]
+   spans). *)
+let collect_waivers structure =
+  let acc = ref [] in
+  let record (loc : Location.t) attrs =
+    List.iter
+      (fun attr ->
+        match waiver_of_attribute attr with
+        | None -> ()
+        | Some rules ->
+            acc := (rules, loc.loc_start.pos_cnum, loc.loc_end.pos_cnum) :: !acc)
+      attrs
+  in
+  let open Ast_iterator in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          record e.pexp_loc e.pexp_attributes;
+          default_iterator.expr it e);
+      value_binding =
+        (fun it vb ->
+          record vb.pvb_loc vb.pvb_attributes;
+          default_iterator.value_binding it vb);
+      structure_item =
+        (fun it item ->
+          match item.pstr_desc with
+          | Pstr_attribute attr -> (
+              match waiver_of_attribute attr with
+              | Some rules ->
+                  acc :=
+                    (rules, attr.attr_loc.loc_start.pos_cnum, max_int) :: !acc
+              | None -> ())
+          | Pstr_eval (_, attrs) ->
+              record item.pstr_loc attrs;
+              default_iterator.structure_item it item
+          | _ -> default_iterator.structure_item it item);
+    }
+  in
+  it.structure it structure;
+  !acc
 
 (* -- float smell (N1) ---------------------------------------------- *)
 
-let rec smells_float ctx e =
+let rec smells_float_syntactic ctx e =
   match e.pexp_desc with
   | Pexp_constant (Pconst_float _) -> true
   | Pexp_field (_, { txt; _ }) ->
@@ -161,7 +241,7 @@ let rec smells_float ctx e =
       || List.mem n ctx.cfg.Lint_config.float_idents
       || List.mem (Longident.last txt) ctx.cfg.Lint_config.float_idents
   | Pexp_constraint (inner, ty) -> (
-      smells_float ctx inner
+      smells_float_syntactic ctx inner
       ||
       match ty.ptyp_desc with
       | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
@@ -179,10 +259,25 @@ let rec smells_float ctx e =
           (* Unary minus is polymorphic-looking in the parsetree;
              recurse into the operand. *)
           match args with
-          | [ (_, a) ] -> smells_float ctx a
+          | [ (_, a) ] -> smells_float_syntactic ctx a
           | _ -> false)
       | _ -> false)
   | _ -> false
+
+(* [smells_float_syntactic], upgraded by typed facts when available:
+   the typechecker's verdict at the operand's offset overrides the
+   smell in both directions (real floats the heuristics missed are
+   caught; int/string operands that merely smelled floaty are
+   cleared). *)
+let smells_float ctx e =
+  match ctx.facts with
+  | Some facts -> (
+      match
+        Lint_facts.float_typed facts e.pexp_loc.Location.loc_start.pos_cnum
+      with
+      | Some verdict -> verdict
+      | None -> smells_float_syntactic ctx e)
+  | None -> smells_float_syntactic ctx e
 
 (* -- N2 helpers ---------------------------------------------------- *)
 
@@ -243,7 +338,13 @@ let check_expr ctx e =
   | Pexp_ident
       { txt = Longident.Lident "compare" | Longident.Ldot (Longident.Lident "Stdlib", "compare");
         _ }
-    when not ctx.local_compare ->
+    when (match ctx.facts with
+         (* Typed: flag exactly when the name resolves to the
+            polymorphic Stdlib.compare — a module-local typed
+            [compare] resolves to a bare or dotted non-Stdlib path
+            and needs no heuristic. *)
+         | Some _ -> resolved_name ctx e = Some "Stdlib.compare"
+         | None -> not ctx.local_compare) ->
       add ctx loc "N1"
         "polymorphic compare; use a typed comparator (Float.compare, \
          String.compare, Int.compare)"
@@ -252,7 +353,7 @@ let check_expr ctx e =
   (if Lint_config.kernel ctx.cfg ctx.file && not ctx.guarded then
      match e.pexp_desc with
      | Pexp_apply (fn, args) -> (
-         match ident_name fn with
+         match called_name ctx fn with
          | Some n when List.mem n exp_log_fns ->
              let arg_constant =
                match args with [ (_, a) ] -> constantish a | _ -> false
@@ -277,8 +378,8 @@ let check_expr ctx e =
      | _ -> ());
   (* C2: concurrency and clock discipline. *)
   (match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> (
-      match lid_name txt with
+  | Pexp_ident _ -> (
+      match Option.value ~default:"" (called_name ctx e) with
       | "Domain.spawn" when not (Lint_config.domain_spawn_allowed ctx.cfg ctx.file)
         ->
           add ctx loc "C2"
@@ -292,16 +393,16 @@ let check_expr ctx e =
       | _ -> ())
   | _ -> ());
   (* H1: no direct stdout printing from library code. *)
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ }
+  match called_name ctx e with
+  | Some n
     when Lint_config.lib_code ctx.cfg ctx.file
          && (not (Lint_config.printf_allowed ctx.cfg ctx.file))
-         && List.mem (lid_name txt) stdout_printers ->
+         && List.mem n stdout_printers ->
       add ctx loc "H1"
         (Printf.sprintf
            "%s in library code; route output through Obs.Sink (the human \
             sink respects --quiet) or Experiments.Ascii_plot"
-           (lid_name txt))
+           n)
   | _ -> ()
 
 (* -- toplevel state (C1) ------------------------------------------- *)
@@ -365,9 +466,9 @@ let iterator ctx =
         | _ -> default_iterator.structure_item it item);
   }
 
-let run ~cfg ~file structure =
+let run ?facts ~cfg ~file structure =
   let ctx =
-    { cfg; file; findings = []; waivers = []; guarded = false;
+    { cfg; file; facts; findings = []; waivers = []; guarded = false;
       local_compare = false }
   in
   let it = iterator ctx in

@@ -25,8 +25,25 @@
     from its position to end of file. *)
 
 val run :
-  cfg:Lint_config.t -> file:string -> Parsetree.structure ->
-  Lint_finding.t list
+  ?facts:Lint_facts.t -> cfg:Lint_config.t -> file:string ->
+  Parsetree.structure -> Lint_finding.t list
 (** Walk one implementation and return its unwaived findings in
     report order.  [file] is the repo-relative path used both for
-    findings and for path-scoped rule applicability. *)
+    findings and for path-scoped rule applicability.  With [facts]
+    (the typed backend), N1 consults the typechecker's float verdicts
+    and callee names resolve through typedtree paths instead of
+    source spellings. *)
+
+val lid_name : Longident.t -> string
+(** Dotted rendering of a longident, shared by the flow passes. *)
+
+(** {2 Waivers, shared with the flow passes} *)
+
+type waivers = (string list * int * int) list
+(** [(rules, start-offset, end-offset)] character spans; an empty
+    rule list waives everything in the span. *)
+
+val collect_waivers : Parsetree.structure -> waivers
+(** Harvest every [[@lint.allow]]/[[@@@lint.allow]] span. *)
+
+val span_waived : waivers -> rule:string -> int -> bool

@@ -1,0 +1,12 @@
+(** SARIF 2.1.0 export for GitHub code scanning.
+
+    One run with tool driver ["ctslint"]; every distinct rule that
+    fired gets an entry in [driver.rules]; regions are 1-based per
+    the SARIF spec (the linter's own columns are 0-based). *)
+
+val of_findings : ?tool_version:string -> Lint_finding.t list -> Obs.Json.t
+
+val to_string : ?tool_version:string -> Lint_finding.t list -> string
+
+val write : ?tool_version:string -> path:string -> Lint_finding.t list -> unit
+(** Serialize to [path], trailing newline included. *)
