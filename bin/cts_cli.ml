@@ -751,11 +751,68 @@ let cac_sweep_cmd =
        $ requests_arg $ domains_arg $ seed_sweep_arg $ check_arg
        $ task_retries_arg $ heatmap_arg $ fault_term $ obs_term))
 
+let cac_verify_state_cmd =
+  let dir_arg =
+    let doc = "State directory ($(b,--state-dir) of a $(b,cts serve) run)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let json_verify_arg =
+    let doc = "Print the recovery report as one JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run dir json =
+    match Persist.Recovery.verify ~dir with
+    | Error e -> `Error (false, Printf.sprintf "state verification failed: %s" e)
+    | Ok r ->
+        if json then
+          print_endline (Obs.Json.to_string (Persist.Recovery.report_json r))
+        else begin
+          Printf.printf "state dir      %s\n" r.Persist.Recovery.r_dir;
+          (match r.Persist.Recovery.r_snapshot with
+          | None -> Printf.printf "snapshot       none\n"
+          | Some (covers, path) ->
+              Printf.printf "snapshot       %s (covers segment %d, %d connections)\n"
+                (Filename.basename path) covers
+                r.Persist.Recovery.r_snapshot_conns);
+          List.iter
+            (fun s ->
+              Printf.printf "segment        %s: %d records (%d applied, %d skipped)%s\n"
+                s.Persist.Recovery.sr_file s.Persist.Recovery.sr_records
+                s.Persist.Recovery.sr_applied s.Persist.Recovery.sr_skipped
+                (match s.Persist.Recovery.sr_torn with
+                | None -> ""
+                | Some off -> Printf.sprintf ", torn tail at offset %d" off))
+            r.Persist.Recovery.r_segments;
+          Printf.printf "recovered      %d links, %d connections\n"
+            r.Persist.Recovery.r_links r.Persist.Recovery.r_conns;
+          List.iter
+            (fun s ->
+              match s.Persist.Recovery.sr_torn with
+              | None -> ()
+              | Some off ->
+                  Printf.eprintf
+                    "cts: warning: %s has a torn final record at offset %d \
+                     (crash residue; recovery truncates it)\n%!"
+                    s.Persist.Recovery.sr_file off)
+            r.Persist.Recovery.r_segments
+        end;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "verify-state"
+       ~doc:
+         "Replay a serve daemon's durable state offline: exit 0 if the \
+          snapshot and journal reconstruct cleanly (torn tails warn), \
+          non-zero on interior corruption")
+    Term.(ret (const run $ dir_arg $ json_verify_arg))
+
 let cac_cmd =
   Cmd.group
     (Cmd.info "cac"
-       ~doc:"Online connection-admission-control engine (decide, replay, sweep)")
-    [ cac_decide_cmd; cac_replay_cmd; cac_sweep_cmd ]
+       ~doc:
+         "Online connection-admission-control engine (decide, replay, sweep, \
+          verify-state)")
+    [ cac_decide_cmd; cac_replay_cmd; cac_sweep_cmd; cac_verify_state_cmd ]
 
 (* {2 The serving daemon} *)
 
@@ -828,8 +885,42 @@ let serve_cmd =
       & opt (some float) None
       & info [ "breaker-cooldown-s" ] ~docv:"SEC" ~doc)
   in
+  let state_dir_arg =
+    let doc =
+      "Durable state directory: journal every admitted/released connection \
+       to a write-ahead log, checkpoint periodically, and replay it all back \
+       on the next boot (before the socket binds).  Without this flag the \
+       connection table is in-memory only."
+    in
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let fsync_policy_arg =
+    let doc =
+      "WAL durability: $(b,always) (fsync before every ack; loses nothing), \
+       $(b,every:N) (fsync per N records; a power loss may lose up to N \
+       acked connections, a plain crash none), or $(b,never) (page cache \
+       only)."
+    in
+    Arg.(value & opt string "always" & info [ "fsync-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc =
+      "Checkpoint the connection table after $(docv) journaled ops (0 = only \
+       on graceful shutdown)."
+    in
+    Arg.(value & opt int 10_000 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let access_log_file_arg =
+    let doc =
+      "Append the JSON access log to $(docv) instead of stdout; SIGHUP \
+       reopens it (logrotate-friendly)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "access-log" ] ~docv:"PATH" ~doc)
+  in
   let run host port domains queue read_timeout max_body links cache_capacity
-      max_retries breaker_cooldown_s quiet fault_opts obs_opts =
+      max_retries breaker_cooldown_s state_dir fsync_policy snapshot_every
+      access_log_path quiet fault_opts obs_opts =
     with_obs obs_opts @@ fun () ->
     with_faults fault_opts @@ fun () ->
     if quiet then Obs.Sink.set_human Obs.Sink.Null;
@@ -841,23 +932,161 @@ let serve_cmd =
       | Some s when not (Float.is_finite s && s >= 0.0) -> true
       | _ -> false
     then `Error (false, "--breaker-cooldown-s must be finite and >= 0")
+    else if snapshot_every < 0 then
+      `Error (false, "--snapshot-every must be >= 0")
     else if List.mem None parsed then
       `Error
         ( false,
           "bad --link spec (want id=capacity:buffer_msec:clr, e.g. \
            oc3=16140:20:1e-6)" )
     else begin
+      match Persist.Wal.policy_of_string fsync_policy with
+      | Error msg -> `Error (false, "bad --fsync-policy: " ^ msg)
+      | Ok policy -> (
       let engine =
         Cac.Engine.create ~cache_capacity ~max_retries ?breaker_cooldown_s ()
+      in
+      (* The API starts not-ready when there is state to replay:
+         decide/admit/release answer 503 and /healthz reports
+         "recovering" until the journal is fully applied. *)
+      let api = Srv.Cac_api.create ~recovering:(state_dir <> None) engine in
+      (* Recover (snapshot, then WAL replay) into the cold engine, then
+         open the store and install the journal hook — interior
+         corruption fails the boot closed rather than over-admit on a
+         guessed connection table. *)
+      let persist =
+        match state_dir with
+        | None -> Ok None
+        | Some dir -> (
+            match Persist.Recovery.recover ~dir engine with
+            | Error e ->
+                Error
+                  (Printf.sprintf "state recovery failed (fail closed): %s" e)
+            | Ok report -> (
+                match
+                  Persist.Store.open_ ~dir ~policy ~snapshot_every
+                    ~next_seq:report.Persist.Recovery.r_next_seq
+                with
+                | exception Sys_error msg -> Error msg
+                | exception (Unix.Unix_error _ as e) ->
+                    Error
+                      (Printf.sprintf "cannot open state dir %s: %s" dir
+                         (Printexc.to_string e))
+                | store ->
+                    Cac.Engine.set_journal engine
+                      (Some (Persist.Store.journal store));
+                    Ok (Some (store, report))))
+      in
+      match persist with
+      | Error e -> `Error (false, e)
+      | Ok persist ->
+      (* Configured links the recovered state does not already carry are
+         added (and journaled) now; recovered links win over respecs. *)
+      let existing =
+        List.map Cac.Link.id (Cac.Engine.links engine)
       in
       List.iter
         (fun spec ->
           let id, capacity, buffer_msec, target_clr = Option.get spec in
-          ignore
-            (Cac.Engine.add_link_msec engine ~id ~capacity ~buffer_msec
-               ~target_clr))
+          if not (List.mem id existing) then
+            ignore
+              (Cac.Engine.add_link_msec engine ~id ~capacity ~buffer_msec
+                 ~target_clr))
         parsed;
-      let api = Srv.Cac_api.create engine in
+      (* Boot checkpoint: fold the replayed journal into a fresh
+         snapshot so the old segments compact away immediately, then
+         arm the per-ack durability barrier and open for business. *)
+      (match persist with
+      | None -> ()
+      | Some (store, _) ->
+          (match
+             Persist.Store.snapshot store
+               ~with_engine:(Srv.Cac_api.with_engine api)
+           with
+          | Ok _ -> ()
+          | Error e ->
+              Printf.eprintf
+                "cts serve: boot snapshot failed: %s (journal remains \
+                 authoritative)\n\
+                 %!"
+                e);
+          Srv.Cac_api.set_barrier api (fun () -> Persist.Store.barrier store));
+      Srv.Cac_api.set_ready api;
+      (* SIGHUP: flag now, rotate sinks from the accept loop's
+         housekeeping tick (signal handlers must not do I/O). *)
+      let hup = Atomic.make false in
+      Sys.set_signal Sys.sighup
+        (Sys.Signal_handle (fun _ -> Atomic.set hup true));
+      let reopen_append path =
+        match
+          open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path
+        with
+        | oc -> Some oc
+        | exception Sys_error msg ->
+            Printf.eprintf
+              "cts serve: cannot reopen %s: %s (keeping the old sink)\n%!"
+              path msg;
+            None
+      in
+      let access =
+        Option.map
+          (fun path ->
+            match reopen_append path with
+            | Some oc -> (path, Atomic.make (Obs.Sink.Jsonl oc))
+            | None -> exit 1)
+          access_log_path
+      in
+      (* Superseded channels are flushed at rotation but only closed
+         after the drain — a worker may still be writing its line. *)
+      let retired = ref [] in
+      let installed_trace = ref None in
+      let rotate_sinks () =
+        (match access with
+        | None -> ()
+        | Some (path, cell) -> (
+            match reopen_append path with
+            | None -> ()
+            | Some oc -> (
+                match Atomic.exchange cell (Obs.Sink.Jsonl oc) with
+                | Obs.Sink.Jsonl old | Obs.Sink.Text old ->
+                    (try flush old with Sys_error _ -> ());
+                    retired := old :: !retired
+                | Obs.Sink.Null -> ())));
+        match obs_opts.trace with
+        | None -> ()
+        | Some path -> (
+            match reopen_append path with
+            | None -> ()
+            | Some oc ->
+                Obs.Span.set_trace_sink (Obs.Sink.Jsonl oc);
+                (match !installed_trace with
+                | Some old ->
+                    (try flush old with Sys_error _ -> ());
+                    retired := old :: !retired
+                | None -> ());
+                installed_trace := Some oc)
+      in
+      let tick () =
+        if Atomic.exchange hup false then begin
+          if not quiet then
+            Printf.printf "cts serve: SIGHUP — reopening log sinks\n%!";
+          rotate_sinks ()
+        end;
+        match persist with
+        | None -> ()
+        | Some (store, _) -> (
+            match
+              Persist.Store.maybe_snapshot store
+                ~with_engine:(Srv.Cac_api.with_engine api)
+            with
+            | Some (Error e) ->
+                Printf.eprintf
+                  "cts serve: snapshot failed: %s (journal remains \
+                   authoritative)\n\
+                   %!"
+                  e
+            | Some (Ok _) | None -> ())
+      in
       let config =
         {
           Srv.Pool.default_config with
@@ -869,9 +1098,13 @@ let serve_cmd =
           read_timeout_s =
             (if read_timeout > 0.0 then Some read_timeout else None);
           limits = { Srv.Http.default_limits with max_body };
-          (* One JSON line per request on the human sink; --quiet
-             installs the Null sink above, which drops them. *)
+          (* One JSON line per request: to --access-log when given
+             (SIGHUP-rotatable), else the human sink, which --quiet
+             silences via the Null sink installed above. *)
           access_log = true;
+          access_sink =
+            Option.map (fun (_, cell) () -> Atomic.get cell) access;
+          tick = Some tick;
         }
       in
       match Srv.Pool.create ~config (Srv.Cac_api.router api) with
@@ -909,6 +1142,23 @@ let serve_cmd =
                            | Some s -> Obs.Json.Float s
                            | None -> Obs.Json.Null );
                        ]));
+              (* The /debug/vars "persist" section: live store figures
+                 plus the boot-time recovery report. *)
+              (match persist with
+              | None -> ()
+              | Some (store, report) ->
+                  ignore
+                    (Srv.Cac_api.add_debug_provider api ~name:"persist"
+                       (fun () ->
+                         match Persist.Store.debug_json store with
+                         | Obs.Json.Obj fields ->
+                             Obs.Json.Obj
+                               (fields
+                               @ [
+                                   ( "recovery",
+                                     Persist.Recovery.report_json report );
+                                 ])
+                         | j -> j)));
               if not quiet then begin
                 Printf.printf
                   "cts serve: listening on %s:%d (%d domains, queue %d)\n" host
@@ -922,12 +1172,65 @@ let serve_cmd =
                       (Cac.Link.id link) (Cac.Link.capacity link)
                       (Cac.Link.buffer_msec link) (Cac.Link.target_clr link))
                   (Srv.Cac_api.with_engine api Cac.Engine.links);
+                (match persist with
+                | None -> ()
+                | Some (store, report) ->
+                    Printf.printf
+                      "cts serve: durable state in %s (fsync %s, snapshot \
+                       every %d ops)\n"
+                      (Persist.Store.dir store)
+                      (Persist.Wal.policy_name policy)
+                      snapshot_every;
+                    Printf.printf
+                      "cts serve: recovered %d links, %d connections (%d \
+                       records applied, %d skipped, %d torn tails)\n"
+                      report.Persist.Recovery.r_links
+                      report.Persist.Recovery.r_conns
+                      report.Persist.Recovery.r_applied
+                      report.Persist.Recovery.r_skipped
+                      report.Persist.Recovery.r_torn);
                 Printf.printf
                   "cts serve: POST /v1/decide /v1/admit /v1/release, GET \
                    /metrics /healthz /breakers /debug/vars /heatmap\n%!"
               end;
               Srv.Pool.serve pool listen_fd;
               (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+              (* The drain snapshot runs strictly after serve returns —
+                 i.e. after every worker domain has joined — so an
+                 admit racing the shutdown is either fully journaled
+                 and checkpointed or was refused with 503. *)
+              (match persist with
+              | None -> ()
+              | Some (store, _) ->
+                  (match
+                     Persist.Store.snapshot store
+                       ~with_engine:(Srv.Cac_api.with_engine api)
+                   with
+                  | Ok covers ->
+                      if not quiet then
+                        Printf.printf
+                          "cts serve: shutdown snapshot covers segment %d\n"
+                          covers
+                  | Error e ->
+                      Printf.eprintf
+                        "cts serve: shutdown snapshot failed: %s (journal \
+                         remains authoritative)\n\
+                         %!"
+                        e);
+                  Persist.Store.close store);
+              (* All workers joined: retire the log sinks. *)
+              (match !installed_trace with
+              | Some oc ->
+                  Obs.Span.set_trace_sink Obs.Sink.Null;
+                  close_out_noerr oc
+              | None -> ());
+              (match access with
+              | None -> ()
+              | Some (_, cell) -> (
+                  match Atomic.get cell with
+                  | Obs.Sink.Jsonl oc | Obs.Sink.Text oc -> close_out_noerr oc
+                  | Obs.Sink.Null -> ()));
+              List.iter close_out_noerr !retired;
               let snap = Obs.Registry.snapshot () in
               let counter name =
                 match
@@ -945,7 +1248,7 @@ let serve_cmd =
                   (counter "srv.http.connections")
                   (counter "srv.http.shed")
                   (counter "srv.http.handler_errors");
-              `Ok ())
+              `Ok ()))
     end
   in
   Cmd.v
@@ -957,8 +1260,9 @@ let serve_cmd =
       ret
         (const run $ host_arg $ port_arg $ domains_arg $ queue_arg
        $ read_timeout_arg $ max_body_arg $ links_arg $ cache_arg
-       $ max_retries_arg $ breaker_cooldown_s_arg $ quiet_arg $ fault_term
-       $ obs_term))
+       $ max_retries_arg $ breaker_cooldown_s_arg $ state_dir_arg
+       $ fsync_policy_arg $ snapshot_every_arg $ access_log_file_arg
+       $ quiet_arg $ fault_term $ obs_term))
 
 (* {2 The obs command group} *)
 

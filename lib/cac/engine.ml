@@ -12,6 +12,21 @@ type link_telemetry = {
   t_connections : Obs.Registry.Gauge.t;
 }
 
+(* Every state mutation, as a value: what the durability journal
+   records and what replay re-applies.  Class and link are referenced
+   by name — the stable identifiers — so a journal survives process
+   restarts. *)
+type op =
+  | Op_add_link of {
+      id : string;
+      capacity : float;
+      buffer : float;
+      target_clr : float;
+    }
+  | Op_remove_link of string
+  | Op_admit of { conn : int; link : string; cls : string }
+  | Op_release of int
+
 type t = {
   links : (string, Link.t) Hashtbl.t;
   link_telemetry : (string, link_telemetry) Hashtbl.t;
@@ -28,6 +43,11 @@ type t = {
   breaker_cooldown_s : float option;
       (* Some s: wall-clock breaker mode for long-running servers *)
   mutable next_conn : int;
+  (* The durability hook: called with each completed mutation, inside
+     whatever critical section the caller runs the engine under.  Must
+     not raise and must not block (Persist.Store pushes to an
+     in-memory ring; a flusher domain does the I/O). *)
+  mutable journal : (op -> unit) option;
 }
 
 type reject_reason = Unstable | Clr_exceeded
@@ -64,7 +84,12 @@ let create ?(cache_capacity = 4096) ?(clock = Obs.Clock.wall) ?(max_retries = 1)
     breaker_cooldown;
     breaker_cooldown_s;
     next_conn = 0;
+    journal = None;
   }
+
+let set_journal t hook = t.journal <- hook
+let journaled t = Option.is_some t.journal
+let emit t op = match t.journal with None -> () | Some hook -> hook op
 
 let add_link t ~id ~capacity ~buffer ~target_clr =
   if Hashtbl.mem t.links id then
@@ -79,6 +104,7 @@ let add_link t ~id ~capacity ~buffer ~target_clr =
       t_releases = Obs.Registry.Counter.v ~labels "cac.engine.link.releases";
       t_connections = Obs.Registry.Gauge.v ~labels "cac.engine.link.connections";
     };
+  emit t (Op_add_link { id; capacity; buffer; target_clr });
   link
 
 let add_link_msec t ~id ~capacity ~buffer_msec ~target_clr =
@@ -129,7 +155,8 @@ let remove_link t id =
         if String.starts_with ~prefix key then key :: acc else acc)
       t.breakers []
   in
-  List.iter (Hashtbl.remove t.breakers) dead
+  List.iter (Hashtbl.remove t.breakers) dead;
+  emit t (Op_remove_link id)
 
 (* {2 Decision primitives, memoised} *)
 
@@ -313,6 +340,8 @@ let admit t ~link:link_id ~cls =
             Obs.Registry.Counter.incr tel.t_admits;
             Obs.Registry.Gauge.add tel.t_connections 1.0
         | None -> ());
+        emit t
+          (Op_admit { conn; link = link_id; cls = cls.Source_class.name });
         Admitted conn
     | exception exn ->
         Link.remove l ~cls;
@@ -337,7 +366,8 @@ let release t ~conn =
       | Some tel ->
           Obs.Registry.Counter.incr tel.t_releases;
           Obs.Registry.Gauge.add tel.t_connections (-1.0)
-      | None -> ())
+      | None -> ());
+      emit t (Op_release conn)
 
 let connection t conn = Hashtbl.find_opt t.conns conn
 let active_connections t = Hashtbl.length t.conns
@@ -352,3 +382,129 @@ let fill t ~link ~cls =
 
 let metrics t = t.metrics
 let cache_stats t = Decision_cache.stats t.cache
+
+(* {2 Replay and state transfer}
+
+   [apply] re-executes a journaled mutation without re-deciding it: no
+   admission test, no admit/reject counters, no decision latency — a
+   recovered engine must not double-count traffic it admitted in a
+   previous life.  Only the live-connection gauge moves, since it
+   describes current state rather than history. *)
+
+let apply t op =
+  if journaled t then
+    invalid_arg "Engine.apply: journal hook armed (replay needs a cold engine)";
+  match op with
+  | Op_add_link { id; capacity; buffer; target_clr } ->
+      ignore (add_link t ~id ~capacity ~buffer ~target_clr)
+  | Op_remove_link id -> remove_link t id
+  | Op_admit { conn; link = link_id; cls } ->
+      if Hashtbl.mem t.conns conn then
+        invalid_arg
+          (Printf.sprintf "Engine.apply: duplicate connection %d" conn);
+      let l = link t link_id in
+      let c = Source_class.of_name_exn cls in
+      Link.add l ~cls:c;
+      Hashtbl.replace t.conns conn (l, c);
+      if conn >= t.next_conn then t.next_conn <- conn + 1;
+      (match link_telemetry t link_id with
+      | Some tel -> Obs.Registry.Gauge.add tel.t_connections 1.0
+      | None -> ())
+  | Op_release conn -> (
+      match Hashtbl.find_opt t.conns conn with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Engine.apply: unknown connection %d" conn)
+      | Some (l, c) ->
+          Hashtbl.remove t.conns conn;
+          Link.remove l ~cls:c;
+          (match link_telemetry t (Link.id l) with
+          | Some tel -> Obs.Registry.Gauge.add tel.t_connections (-1.0)
+          | None -> ()))
+
+type link_state = {
+  l_id : string;
+  l_capacity : float;
+  l_buffer : float;
+  l_target_clr : float;
+}
+
+type conn_state = { c_conn : int; c_link : string; c_class : string }
+type breaker_snapshot = { b_link : string; b_class : string; b_state : string }
+
+type state = {
+  s_links : link_state list;
+  s_conns : conn_state list;
+  s_breakers : breaker_snapshot list;
+  s_next_conn : int;
+}
+
+(* Deterministic ordering everywhere: [export] must encode
+   byte-identically for equal engine states, whatever insertion order
+   the hash tables saw. *)
+let export t =
+  let s_links =
+    links t
+    |> List.map (fun l ->
+           {
+             l_id = Link.id l;
+             l_capacity = Link.capacity l;
+             l_buffer = Link.buffer l;
+             l_target_clr = Link.target_clr l;
+           })
+  in
+  let s_conns =
+    Hashtbl.fold
+      (fun conn (l, cls) acc ->
+        { c_conn = conn; c_link = Link.id l; c_class = cls.Source_class.name }
+        :: acc)
+      t.conns []
+    |> List.sort (fun a b -> Int.compare a.c_conn b.c_conn)
+  in
+  let s_breakers =
+    Hashtbl.fold
+      (fun key b acc ->
+        (* Keys are [link_id ^ "/" ^ class_name]; class names never
+           contain '/', so split at the last one. *)
+        match String.rindex_opt key '/' with
+        | None -> acc
+        | Some i ->
+            {
+              b_link = String.sub key 0 i;
+              b_class = String.sub key (i + 1) (String.length key - i - 1);
+              b_state = Guard.Breaker.state_name (Guard.Breaker.state b);
+            }
+            :: acc)
+      t.breakers []
+    |> List.sort (fun a b ->
+           match String.compare a.b_link b.b_link with
+           | 0 -> String.compare a.b_class b.b_class
+           | c -> c)
+  in
+  { s_links; s_conns; s_breakers; s_next_conn = t.next_conn }
+
+let restore t st =
+  if journaled t then
+    invalid_arg "Engine.restore: journal hook armed (restore needs a cold engine)";
+  if Hashtbl.length t.links > 0 || Hashtbl.length t.conns > 0 then
+    invalid_arg "Engine.restore: engine not empty";
+  List.iter
+    (fun ls ->
+      ignore
+        (add_link t ~id:ls.l_id ~capacity:ls.l_capacity ~buffer:ls.l_buffer
+           ~target_clr:ls.l_target_clr))
+    st.s_links;
+  List.iter
+    (fun cs ->
+      apply t (Op_admit { conn = cs.c_conn; link = cs.c_link; cls = cs.c_class }))
+    st.s_conns;
+  List.iter
+    (fun bs ->
+      match
+        (Guard.Breaker.state_of_name bs.b_state, Source_class.of_name bs.b_class)
+      with
+      | Some s, Some cls when Hashtbl.mem t.links bs.b_link ->
+          Guard.Breaker.force (breaker t ~link_id:bs.b_link ~cls) s
+      | _ -> ())
+    st.s_breakers;
+  if st.s_next_conn > t.next_conn then t.next_conn <- st.s_next_conn

@@ -54,10 +54,38 @@
     breaker.  Degraded verdicts carry [degraded = true] and tick
     [cac.guard.fallbacks].
 
+    {2 Durability hook}
+
+    The engine itself is memory-only, but every mutation can be
+    mirrored to an external journal: {!set_journal} installs a hook
+    that receives each completed {!op} (link added/removed, connection
+    admitted/released) inside whatever critical section the caller
+    runs the engine under.  The hook must not raise and must not block
+    — [Persist.Store] satisfies both by pushing to an in-memory ring
+    drained by a dedicated flusher domain.  {!apply} is the replay
+    inverse: it re-executes an [op] on a cold engine without
+    re-deciding it (no admission test, no admit/reject counters), and
+    {!export}/{!restore} move whole-engine snapshots for
+    checkpointing.
+
     {2 Engines are single-domain}: share nothing across [Domain.spawn]
     (see {!Sweep}). *)
 
 type t
+
+(** A completed engine mutation, as recorded by the journal hook and
+    re-executed by {!apply}.  Links and classes are referenced by
+    their stable names so the value survives process restarts. *)
+type op =
+  | Op_add_link of {
+      id : string;
+      capacity : float;
+      buffer : float;
+      target_clr : float;
+    }
+  | Op_remove_link of string
+  | Op_admit of { conn : int; link : string; cls : string }
+  | Op_release of int
 
 type reject_reason =
   | Unstable  (** mean load of the candidate mix would reach capacity *)
@@ -158,3 +186,56 @@ val breaker_state :
 
 val metrics : t -> Metrics.t
 val cache_stats : t -> Decision_cache.stats
+
+(** {2 Durability: journal hook, replay, state transfer} *)
+
+val set_journal : t -> (op -> unit) option -> unit
+(** Install (or clear) the journal hook.  The hook is called with each
+    completed mutation, after the engine state has moved; it must not
+    raise and must not block (see the module preamble). *)
+
+val journaled : t -> bool
+(** Whether a journal hook is installed. *)
+
+val apply : t -> op -> unit
+(** Re-execute a journaled mutation during recovery: mutates link and
+    connection state (and the live-connection gauge) without running
+    the admission test or advancing admit/reject telemetry.
+    [Op_admit] takes the recorded connection id and bumps the id
+    allocator past it.  Raises [Invalid_argument] on an op
+    inconsistent with current state — duplicate link or connection id,
+    unknown link, class or connection — and when a journal hook is
+    armed (replay must target a cold engine; recovery counts such
+    skips instead of crashing). *)
+
+type link_state = {
+  l_id : string;
+  l_capacity : float;  (** cells/frame *)
+  l_buffer : float;  (** cells *)
+  l_target_clr : float;
+}
+
+type conn_state = { c_conn : int; c_link : string; c_class : string }
+
+type breaker_snapshot = { b_link : string; b_class : string; b_state : string }
+(** [b_state] is a {!Resilience.Guard.Breaker.state_name}. *)
+
+type state = {
+  s_links : link_state list;  (** sorted by id *)
+  s_conns : conn_state list;  (** sorted by connection id *)
+  s_breakers : breaker_snapshot list;  (** sorted by (link, class) *)
+  s_next_conn : int;
+}
+
+val export : t -> state
+(** Snapshot the full engine state.  All lists are sorted, so equal
+    engine states export structurally (and byte-) identically —
+    recovery determinism is checked against this. *)
+
+val restore : t -> state -> unit
+(** Load an exported state into a cold, empty engine: links first,
+    then connections (via {!apply}), then breaker states (via
+    {!Resilience.Guard.Breaker.force}, without touching trip
+    telemetry).  Raises [Invalid_argument] if the engine already has
+    links or connections, has a journal hook armed, or the state is
+    internally inconsistent. *)

@@ -1,0 +1,17 @@
+(** File-I/O helpers for the persistence layer.  Every function here
+    may block; never call one while holding a lock. *)
+
+val write_all : Unix.file_descr -> string -> int -> int -> unit
+(** [write_all fd s pos len] writes [s.[pos .. pos+len-1]] fully,
+    looping over short writes.  Raises [Unix.Unix_error] on I/O
+    failure. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so a just-created or just-renamed name survives
+    a crash.  Best-effort: errors are swallowed. *)
+
+val read_string : string -> string
+(** Read a whole file.  Raises [Sys_error] on open/read failure. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents (mode 0o755). *)

@@ -1,0 +1,47 @@
+(** Boot-time state reconstruction: newest snapshot, then replay of
+    every journal segment beyond it.
+
+    Deterministic — recovering the same state directory always yields
+    the same engine state ({!Cac.Engine.export} of two recoveries
+    encodes byte-identically).  Failure posture: torn final records
+    are truncated with a warning (crash residue is expected); interior
+    corruption — a CRC mismatch, an implausible length, an
+    undecodable op, or an unloadable snapshot — fails closed with an
+    error naming the file and byte offset, because an admission
+    controller guessing at its connection table over-admits. *)
+
+type segment_report = {
+  sr_seq : int;
+  sr_file : string;
+  sr_records : int;  (** complete, CRC-valid records *)
+  sr_applied : int;
+  sr_skipped : int;  (** ops inconsistent with state (overlap residue) *)
+  sr_bytes : int;
+  sr_torn : int option;  (** byte offset of a truncated torn tail *)
+}
+
+type report = {
+  r_dir : string;
+  r_snapshot : (int * string) option;  (** (covers, path) restored from *)
+  r_snapshot_conns : int;
+  r_segments : segment_report list;
+  r_records : int;
+  r_applied : int;
+  r_skipped : int;
+  r_torn : int;  (** segments ending in a torn tail *)
+  r_next_seq : int;  (** first unused segment number — feed to Wal/Store *)
+  r_conns : int;  (** live connections after recovery *)
+  r_links : int;
+}
+
+val recover : dir:string -> Cac.Engine.t -> (report, string) result
+(** Restore into a cold engine.  A missing directory is an empty
+    (successful) recovery; corruption is [Error].  On [Error] the
+    engine may be partially populated and must be discarded. *)
+
+val verify : dir:string -> (report, string) result
+(** {!recover} onto a scratch engine: the integrity check behind
+    [cts cac verify-state]. *)
+
+val report_json : report -> Obs.Json.t
+(** The [/debug/vars] persist-section rendering of a report. *)

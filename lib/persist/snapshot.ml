@@ -1,0 +1,94 @@
+(* Checkpoint files: the full engine state as one JSON document,
+   written to a temp file, fsynced, then atomically renamed into
+   place.  A snapshot names the journal segment it covers; recovery
+   replays only segments beyond it. *)
+
+let () =
+  Obs.Registry.declare_counter "persist.snapshot.writes";
+  Obs.Registry.declare_counter "persist.snapshot.errors";
+  Obs.Registry.declare_gauge "persist.snapshot.age_s"
+
+let schema = "cts.persist.snapshot.v1"
+let name covers = Printf.sprintf "snapshot-%08d.json" covers
+
+let seq_of_name n =
+  if
+    String.length n = 22
+    && String.starts_with ~prefix:"snapshot-" n
+    && String.ends_with ~suffix:".json" n
+  then int_of_string_opt (String.sub n 9 8)
+  else None
+
+let list ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun n ->
+             Option.map (fun c -> (c, Filename.concat dir n)) (seq_of_name n))
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let latest ~dir =
+  match List.rev (list ~dir) with [] -> None | newest :: _ -> Some newest
+
+let encode ~covers st =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String schema);
+         ("covers", Obs.Json.Int covers);
+         ("state", Codec.json_of_state st);
+       ])
+  ^ "\n"
+
+let decode s =
+  match Obs.Json.of_string s with
+  | None -> Error "unparseable JSON"
+  | Some j -> (
+      match Obs.Json.member "schema" j with
+      | Some (Obs.Json.String sc) when sc = schema -> (
+          match (Obs.Json.member "covers" j, Obs.Json.member "state" j) with
+          | Some (Obs.Json.Int covers), Some stj -> (
+              match Codec.state_of_json stj with
+              | Ok st -> Ok (covers, st)
+              | Error e -> Error e)
+          | _ -> Error "missing covers or state")
+      | _ -> Error (Printf.sprintf "unknown snapshot schema (expected %s)" schema))
+
+(* The [persist.snapshot.write] fault point decides the write's fate
+   before it is issued: a torn write leaves a partial temp file that
+   is never renamed (benign residue — the previous snapshot stays
+   authoritative), while a short write renames a truncated document
+   into place — the corrupt-newest-snapshot case recovery must fail
+   closed on. *)
+let write ~dir ~covers st =
+  let payload = encode ~covers st in
+  let len = String.length payload in
+  let plan = Resilience.Fault.write_plan "persist.snapshot.write" ~len in
+  let final = Filename.concat dir (name covers) in
+  let tmp = final ^ ".tmp" in
+  let n =
+    match plan with
+    | Resilience.Fault.Write_all -> len
+    | Resilience.Fault.Write_short n | Resilience.Fault.Write_torn n -> n
+  in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Ioutil.write_all fd payload 0 n;
+      Unix.fsync fd);
+  (match plan with
+  | Resilience.Fault.Write_torn _ ->
+      failwith "persist.snapshot.write: torn write (temp file abandoned)"
+  | Resilience.Fault.Write_all | Resilience.Fault.Write_short _ ->
+      Unix.rename tmp final;
+      Ioutil.fsync_dir dir);
+  Obs.Registry.incr "persist.snapshot.writes"
+
+let load path =
+  match Ioutil.read_string path with
+  | exception Sys_error e -> Error e
+  | s -> decode s

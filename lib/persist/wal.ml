@@ -1,0 +1,390 @@
+(* Append-only journal of engine mutations.
+
+   {2 Record framing}
+
+   Each record is [len:4 LE][crc32(payload):4 LE][payload].  The
+   reader walks frames sequentially: a final frame cut off by EOF is a
+   {e torn tail} — the expected residue of a crash mid-write, reported
+   and ignored — while a complete frame whose CRC does not match is
+   {e interior corruption}, which fails closed (the journal cannot be
+   trusted past that point).
+
+   {2 Threading}
+
+   [append] / [rotate] / [barrier] are called under the caller's
+   critical section (the server runs the engine under a mutex) and do
+   ring work only: frame, push, signal.  A dedicated flusher domain
+   owns the segment fd and performs every [write]/[fsync], so no
+   blocking I/O ever runs under a lock — ctslint's L1 rule, with
+   [Unix.fsync]/[Unix.single_write] in its blocking vocabulary, checks
+   exactly this split.
+
+   {2 Watermarks}
+
+   Records get dense ids at append time.  The flusher publishes two
+   watermarks: [written_id] (handed to the OS — survives SIGKILL via
+   the page cache) and [synced_id] (fsynced — survives power loss).
+   [barrier] maps the fsync policy onto them: [Always] waits for
+   synced, [Every _] for written, [Never] returns immediately.  A
+   record lost to an injected fault still advances the watermarks
+   (counted in [persist.wal.lost]) so barriers can never deadlock on a
+   record that will never hit the disk. *)
+
+let () =
+  Obs.Registry.declare_counter "persist.wal.records";
+  Obs.Registry.declare_counter "persist.wal.dropped";
+  Obs.Registry.declare_counter "persist.wal.lost";
+  Obs.Registry.declare_counter "persist.wal.fsyncs";
+  Obs.Registry.declare_counter "persist.wal.fsync_errors";
+  Obs.Registry.declare_counter "persist.wal.rotations";
+  Obs.Registry.declare_gauge "persist.wal.bytes";
+  Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:100_000.0 ~bins:40
+    "persist.wal.append.us";
+  Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:100_000.0 ~bins:40
+    "persist.fsync.us"
+
+(* {2 Fsync policy} *)
+
+type policy = Always | Every of int | Never
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "every" -> (
+          let n = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> Ok (Every n)
+          | _ ->
+              Error
+                (Printf.sprintf "fsync policy %S: every:N needs an N >= 1" s))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown fsync policy %S (expected always, every:N or never)" s))
+
+let policy_name = function
+  | Always -> "always"
+  | Never -> "never"
+  | Every n -> Printf.sprintf "every:%d" n
+
+(* {2 Framing} *)
+
+let max_record_len = 1 lsl 20
+
+let frame payload =
+  let len = String.length payload in
+  if len = 0 || len > max_record_len then
+    invalid_arg "Wal.frame: record length out of range";
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Int32.of_int (Crc32.digest payload));
+  Bytes.blit_string payload 0 b 8 len;
+  Bytes.unsafe_to_string b
+
+type tail = Tail_clean | Tail_torn of int
+type corrupt = { offset : int; reason : string }
+
+let parse data =
+  let n = String.length data in
+  let rec go off acc =
+    if off = n then Ok (List.rev acc, Tail_clean)
+    else if n - off < 8 then Ok (List.rev acc, Tail_torn off)
+    else
+      let len = Int32.to_int (String.get_int32_le data off) in
+      if len <= 0 || len > max_record_len then
+        Error { offset = off; reason = Printf.sprintf "implausible record length %d" len }
+      else if off + 8 + len > n then Ok (List.rev acc, Tail_torn off)
+      else
+        let crc = Int32.to_int (String.get_int32_le data (off + 4)) land 0xffffffff in
+        let payload = String.sub data (off + 8) len in
+        if Crc32.digest payload <> crc then
+          Error { offset = off; reason = "crc mismatch" }
+        else go (off + 8 + len) (payload :: acc)
+  in
+  go 0 []
+
+let read_file path = parse (Ioutil.read_string path)
+
+(* {2 Segment naming} *)
+
+let segment_name seq = Printf.sprintf "wal-%08d.log" seq
+
+let segment_seq name =
+  if
+    String.length name = 16
+    && String.starts_with ~prefix:"wal-" name
+    && String.ends_with ~suffix:".log" name
+  then int_of_string_opt (String.sub name 4 8)
+  else None
+
+let segments dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun n ->
+             Option.map
+               (fun seq -> (seq, Filename.concat dir n))
+               (segment_seq n))
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* {2 The writer} *)
+
+type item = Rec of { id : int; frame : string } | Rotate of int | Quit
+
+type t = {
+  dir : string;
+  policy : policy;
+  capacity : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* flusher waits for queue items *)
+  flushed : Condition.t;  (* barrier waiters wait for watermarks *)
+  queue : item Queue.t;
+  mutable next_id : int;
+  mutable written_id : int;
+  mutable synced_id : int;
+  mutable seq : int;  (* segment that new appends target *)
+  mutable closed : bool;
+  mutable flusher : unit Domain.t option;
+}
+
+type stats = { appended : int; written : int; synced : int; segment : int }
+
+let stats t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        appended = t.next_id;
+        written = t.written_id + 1;
+        synced = t.synced_id + 1;
+        segment = t.seq;
+      })
+
+let policy t = t.policy
+let dir t = t.dir
+
+let open_segment t seq =
+  let path = Filename.concat t.dir (segment_name seq) in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  Ioutil.fsync_dir t.dir;
+  fd
+
+type wrote = Wrote_all | Wrote_torn | Wrote_lost
+
+(* Issue one record's write, letting the fault switchboard decide its
+   fate.  A short write is deliberately left *unnoticed* — later
+   records land after the partial frame, manufacturing the
+   interior-corruption failure mode recovery must fail closed on.  A
+   torn write severs the segment (the caller rotates), as a crash
+   mid-write would. *)
+let write_record fd frame_s =
+  let t0 = Obs.Clock.monotonic_ns () in
+  let len = String.length frame_s in
+  let outcome =
+    match Resilience.Fault.write_plan "persist.wal.append" ~len with
+    | exception Resilience.Fault.Injected _ -> Wrote_lost
+    | plan -> (
+        let n, wrote =
+          match plan with
+          | Resilience.Fault.Write_all -> (len, Wrote_all)
+          | Resilience.Fault.Write_short n -> (n, Wrote_lost)
+          | Resilience.Fault.Write_torn n -> (n, Wrote_torn)
+        in
+        match Ioutil.write_all fd frame_s 0 n with
+        | () ->
+            Obs.Registry.add_gauge "persist.wal.bytes" (float_of_int n);
+            wrote
+        | exception Unix.Unix_error _ -> Wrote_lost)
+  in
+  Obs.Registry.observe "persist.wal.append.us"
+    (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0));
+  outcome
+
+let flusher_main t seq0 =
+  let fd = ref (open_segment t seq0) in
+  let cur_seq = ref seq0 in
+  let unsynced = ref 0 in
+  let last_written = ref (-1) in
+  let last_synced = ref (-1) in
+  let quit = ref false in
+  let fsync_now () =
+    let t0 = Obs.Clock.monotonic_ns () in
+    (match
+       Resilience.Fault.inject "persist.wal.fsync";
+       Unix.fsync !fd
+     with
+    | () ->
+        Obs.Registry.incr "persist.wal.fsyncs";
+        last_synced := !last_written;
+        unsynced := 0
+    | exception (Resilience.Fault.Injected _ | Unix.Unix_error _) -> (
+        Obs.Registry.incr "persist.wal.fsync_errors";
+        (* The injected failure is counted; the data still reaches the
+           platter so an acked record is never silently volatile. *)
+        try
+          Unix.fsync !fd;
+          Obs.Registry.incr "persist.wal.fsyncs";
+          last_synced := !last_written;
+          unsynced := 0
+        with Unix.Unix_error _ -> ()));
+    Obs.Registry.observe "persist.fsync.us"
+      (Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0))
+  in
+  let close_fd () = try Unix.close !fd with Unix.Unix_error _ -> () in
+  let move_to seq =
+    (match t.policy with Never -> () | Always | Every _ -> fsync_now ());
+    close_fd ();
+    cur_seq := seq;
+    fd := open_segment t seq;
+    Obs.Registry.incr "persist.wal.rotations"
+  in
+  let process = function
+    | Quit -> quit := true
+    | Rotate target -> if target > !cur_seq then move_to target
+    | Rec { id; frame } ->
+        (match write_record !fd frame with
+        | Wrote_all -> ()
+        | Wrote_lost -> Obs.Registry.incr "persist.wal.lost"
+        | Wrote_torn ->
+            (* Sever the segment as a crash would, then give the record
+               a clean copy at the head of the next one; the torn tail
+               is what recovery's truncation path digests. *)
+            let next =
+              Mutex.protect t.mutex (fun () ->
+                  t.seq <- t.seq + 1;
+                  t.seq)
+            in
+            move_to next;
+            (try
+               Ioutil.write_all !fd frame 0 (String.length frame);
+               Obs.Registry.add_gauge "persist.wal.bytes"
+                 (float_of_int (String.length frame))
+             with Unix.Unix_error _ -> Obs.Registry.incr "persist.wal.lost"));
+        last_written := id;
+        incr unsynced
+  in
+  let rec loop () =
+    let batch =
+      Mutex.protect t.mutex (fun () ->
+          while Queue.is_empty t.queue do
+            Condition.wait t.work t.mutex
+          done;
+          let items = ref [] in
+          while not (Queue.is_empty t.queue) do
+            items := Queue.pop t.queue :: !items
+          done;
+          List.rev !items)
+    in
+    List.iter process batch;
+    let need_sync =
+      match t.policy with
+      | Always -> !unsynced > 0
+      | Every n -> !unsynced >= n
+      | Never -> false
+    in
+    (* Graceful shutdown always syncs, whatever the policy: a clean
+       drain must leave nothing volatile. *)
+    if need_sync || (!quit && !unsynced > 0) then fsync_now ();
+    Mutex.protect t.mutex (fun () ->
+        if !last_written > t.written_id then t.written_id <- !last_written;
+        if !last_synced > t.synced_id then t.synced_id <- !last_synced;
+        Condition.broadcast t.flushed);
+    if !quit then close_fd () else loop ()
+  in
+  loop ()
+
+let create ?(capacity = 65536) ~dir ~policy ~seq () =
+  if capacity < 1 then invalid_arg "Wal.create: capacity < 1";
+  if seq < 0 then invalid_arg "Wal.create: seq < 0";
+  Ioutil.mkdir_p dir;
+  let t =
+    {
+      dir;
+      policy;
+      capacity;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      flushed = Condition.create ();
+      queue = Queue.create ();
+      next_id = 0;
+      written_id = -1;
+      synced_id = -1;
+      seq;
+      closed = false;
+      flusher = None;
+    }
+  in
+  let d =
+    Domain.spawn (fun () ->
+        (* A dying flusher must release barrier waiters, not strand
+           them: mark the journal closed and broadcast. *)
+        Resilience.Guard.protect ~label:"persist.wal.flusher"
+          ~fallback:(fun _ ->
+            Mutex.protect t.mutex (fun () ->
+                t.closed <- true;
+                Condition.broadcast t.flushed))
+          (fun () -> flusher_main t seq))
+  in
+  t.flusher <- Some d;
+  t
+
+let append t payload =
+  let fr = frame payload in
+  Mutex.protect t.mutex (fun () ->
+      if t.closed then false
+      else if Queue.length t.queue >= t.capacity then begin
+        Obs.Registry.incr "persist.wal.dropped";
+        false
+      end
+      else begin
+        Queue.push (Rec { id = t.next_id; frame = fr }) t.queue;
+        t.next_id <- t.next_id + 1;
+        Obs.Registry.incr "persist.wal.records";
+        Condition.signal t.work;
+        true
+      end)
+
+let rotate t =
+  Mutex.protect t.mutex (fun () ->
+      if t.closed then t.seq
+      else begin
+        let covered = t.seq in
+        t.seq <- t.seq + 1;
+        Queue.push (Rotate t.seq) t.queue;
+        Condition.signal t.work;
+        covered
+      end)
+
+let barrier t =
+  match t.policy with
+  | Never -> ()
+  | Always ->
+      Mutex.protect t.mutex (fun () ->
+          let target = t.next_id - 1 in
+          while t.synced_id < target && not t.closed do
+            Condition.wait t.flushed t.mutex
+          done)
+  | Every _ ->
+      Mutex.protect t.mutex (fun () ->
+          let target = t.next_id - 1 in
+          while t.written_id < target && not t.closed do
+            Condition.wait t.flushed t.mutex
+          done)
+
+let close t =
+  let flusher =
+    Mutex.protect t.mutex (fun () ->
+        if t.closed then None
+        else begin
+          t.closed <- true;
+          Queue.push Quit t.queue;
+          Condition.signal t.work;
+          let d = t.flusher in
+          t.flusher <- None;
+          d
+        end)
+  in
+  (match flusher with None -> () | Some d -> Domain.join d);
+  Mutex.protect t.mutex (fun () -> Condition.broadcast t.flushed)

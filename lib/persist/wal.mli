@@ -1,0 +1,119 @@
+(** The write-ahead log: an append-only journal of engine mutations.
+
+    {2 Record format}
+
+    A segment file ([wal-%08d.log]) is a sequence of frames:
+
+    {v
+    +-----------+-----------------+------------------+
+    | len: 4 LE | crc32: 4 LE     | payload: len     |
+    +-----------+-----------------+------------------+
+    v}
+
+    [crc32] is {!Crc32.digest} of the payload.  The reader
+    distinguishes two failure shapes: a final frame cut off by EOF is
+    a {e torn tail} (the residue of a crash mid-write — reported,
+    truncated, recovered past), while a complete frame with a CRC
+    mismatch or an implausible length is {e interior corruption},
+    which fails closed.
+
+    {2 Write path}
+
+    {!append} is non-blocking and safe to call under a lock: it frames
+    the payload and pushes it onto a bounded in-memory ring.  A
+    dedicated flusher domain drains the ring and performs every
+    [write]/[fsync] — no blocking I/O ever runs under the caller's
+    critical section (ctslint L1 checks this, with
+    [Unix.fsync]/[Unix.single_write] in its blocking vocabulary).  A
+    full ring {e drops} the record (counted in [persist.wal.dropped])
+    rather than block the engine.
+
+    {2 Durability barrier}
+
+    Records take dense ids; the flusher publishes how far the journal
+    has {e written} (handed to the OS — survives SIGKILL) and {e
+    synced} (fsynced — survives power loss).  {!barrier} blocks until
+    the policy's watermark covers every append issued before the call:
+    [Always] waits for synced, [Every _] for written, [Never] returns
+    immediately.  Loss windows on SIGKILL: 0 records for [Always] and
+    [Every _] (acked writes are at least in the page cache), unbounded
+    for [Never]; on power loss [Every n] may lose up to [n] acked
+    records and [Never] is unbounded.
+
+    Fault points: [persist.wal.append] (raise / latency / short-write
+    / torn-write) decides each record write's fate; [persist.wal.fsync]
+    (raise / latency) fires before each fsync.  A fired torn-write
+    severs the current segment exactly as a crash would — the WAL
+    rotates and re-appends the record cleanly, leaving a real torn
+    tail behind for recovery to digest. *)
+
+type policy = Always | Every of int | Never
+
+val policy_of_string : string -> (policy, string) result
+(** ["always"], ["never"], or ["every:N"] with [N >= 1]. *)
+
+val policy_name : policy -> string
+
+type t
+
+val create : ?capacity:int -> dir:string -> policy:policy -> seq:int -> unit -> t
+(** Open a journal writing segment [seq] (always a fresh file — the
+    writer never appends to a previous process's segment; recovery
+    supplies a [seq] past every existing one).  [capacity] (default
+    65536) bounds the in-memory ring.  Spawns the flusher domain. *)
+
+val append : t -> string -> bool
+(** Queue one record.  Non-blocking; returns [false] (and counts a
+    drop) when the ring is full or the journal is closed.  Safe to
+    call under a lock. *)
+
+val barrier : t -> unit
+(** Block until the policy's durability watermark covers every record
+    appended before this call.  Returns immediately under [Never] and
+    whenever the journal is closed. *)
+
+val rotate : t -> int
+(** Close the current segment (after an fsync, policy permitting) and
+    start the next; returns the sequence number of the {e covered}
+    segment — a snapshot taken atomically with this call covers every
+    record up to and including that segment.  Non-blocking. *)
+
+val close : t -> unit
+(** Drain the ring, fsync whatever the policy left unsynced (a clean
+    shutdown leaves nothing volatile, even under [Never]), close the
+    segment and join the flusher domain. *)
+
+type stats = {
+  appended : int;  (** records accepted by {!append} *)
+  written : int;  (** records handed to the OS *)
+  synced : int;  (** records fsynced *)
+  segment : int;  (** sequence number new appends target *)
+}
+
+val stats : t -> stats
+val policy : t -> policy
+val dir : t -> string
+
+(** {2 Reading} *)
+
+type tail =
+  | Tail_clean
+  | Tail_torn of int  (** byte offset of the partial final record *)
+
+type corrupt = { offset : int; reason : string }
+
+val read_file : string -> (string list * tail, corrupt) result
+(** Parse one segment into record payloads.  [Tail_torn] is benign
+    (crash residue); [Error] is interior corruption and must fail
+    closed.  Raises [Sys_error] if the file cannot be read. *)
+
+val frame : string -> string
+(** Frame one payload ([len][crc][payload]); exposed for tests.
+    Raises [Invalid_argument] on empty or oversized payloads. *)
+
+val segment_name : int -> string
+val segment_seq : string -> int option
+
+val segments : string -> (int * string) list
+(** The [(seq, path)] of every segment in a directory, ascending; []
+    if the directory is unreadable. *)

@@ -1,10 +1,12 @@
 exception Injected of string
 
-type kind = Raise | Nan | Latency_us of float
+type kind = Raise | Nan | Latency_us of float | Short_write | Torn_write
 type rule = { point : string; kind : kind; rate : float }
 
 (* Every point the codebase threads a hook through, with the fault
-   kinds that make sense there.  [nan] needs a float-valued point. *)
+   kinds that make sense there.  [nan] needs a float-valued point;
+   [short-write]/[torn-write] need a write-shaped point (one that goes
+   through {!write_plan}). *)
 let known_points =
   [
     ("bahadur_rao.evaluate", [ "raise"; "nan"; "latency" ]);
@@ -13,12 +15,18 @@ let known_points =
     ("cac.sweep.task", [ "raise"; "latency" ]);
     ("queueing.mux.step", [ "raise"; "latency" ]);
     ("srv.http.handler", [ "raise"; "latency" ]);
+    ("persist.wal.append", [ "raise"; "latency"; "short-write"; "torn-write" ]);
+    ("persist.wal.fsync", [ "raise"; "latency" ]);
+    ("persist.snapshot.write",
+     [ "raise"; "latency"; "short-write"; "torn-write" ]);
   ]
 
 let kind_name = function
   | Raise -> "raise"
   | Nan -> "nan"
   | Latency_us _ -> "latency"
+  | Short_write -> "short-write"
+  | Torn_write -> "torn-write"
 
 (* {2 Spec parsing} *)
 
@@ -54,6 +62,8 @@ let parse_rule s =
             match kind_s with
             | "raise" -> Some Raise
             | "nan" -> Some Nan
+            | "short-write" -> Some Short_write
+            | "torn-write" -> Some Torn_write
             | "latency" -> (
                 match param_s with
                 | None -> Some (Latency_us 1000.0)
@@ -68,7 +78,7 @@ let parse_rule s =
               Error
                 (Printf.sprintf
                    "fault rule %S: bad kind or latency param (kinds: raise, \
-                    nan, latency[:rate[:usec]])"
+                    nan, latency[:rate[:usec]], short-write, torn-write)"
                    s)
           | _, None ->
               Error (Printf.sprintf "fault rule %S: rate must be in (0, 1]" s)
@@ -182,7 +192,7 @@ let apply_latency fired =
       | Latency_us us ->
           count r;
           Unix.sleepf (us *. 1e-6)
-      | Raise | Nan -> ())
+      | Raise | Nan | Short_write | Torn_write -> ())
     fired
 
 let apply_raise point fired =
@@ -192,7 +202,7 @@ let apply_raise point fired =
       | Raise ->
           count r;
           raise (Injected point)
-      | Nan | Latency_us _ -> ())
+      | Nan | Latency_us _ | Short_write | Torn_write -> ())
     fired
 
 let inject point =
@@ -201,6 +211,42 @@ let inject point =
   | fired ->
       apply_latency fired;
       apply_raise point fired
+
+(* {2 Write-shaped hooks}
+
+   The persistence layer asks the switchboard what should happen to an
+   [len]-byte write *before* issuing it, so a torn write really leaves
+   a partial record on disk instead of merely pretending to.  A fired
+   torn-write wins over a fired short-write: both truncate, but torn
+   additionally severs the record framing mid-frame. *)
+
+type write_outcome = Write_all | Write_short of int | Write_torn of int
+
+let partial_len len = min (len - 1) (max 1 (len / 2))
+
+let write_plan point ~len =
+  match fired_rules point with
+  | [] -> Write_all
+  | fired ->
+      apply_latency fired;
+      apply_raise point fired;
+      if len <= 1 then Write_all
+      else
+        let has pred =
+          List.exists
+            (fun r ->
+              if pred r.kind then begin
+                count r;
+                true
+              end
+              else false)
+            fired
+        in
+        let short = has (function Short_write -> true | _ -> false) in
+        let torn = has (function Torn_write -> true | _ -> false) in
+        if torn then Write_torn (partial_len len)
+        else if short then Write_short (partial_len len)
+        else Write_all
 
 let inject_float point f =
   match fired_rules point with

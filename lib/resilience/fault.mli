@@ -8,9 +8,12 @@
     call sites threaded through {!Core.Bahadur_rao.evaluate},
     {!Cac.Decision_cache.find_or_add}, {!Cac.Workload.run},
     {!Cac.Sweep.run}, the queueing simulators' per-frame step
-    ([queueing.mux.step]) and the HTTP serving pool's dispatch path
-    ([srv.http.handler]) — each of which can be armed with raise, NaN
-    or latency faults at a given rate.
+    ([queueing.mux.step]), the HTTP serving pool's dispatch path
+    ([srv.http.handler]) and the durability layer's write paths
+    ([persist.wal.append], [persist.wal.fsync],
+    [persist.snapshot.write]) — each of which can be armed with raise,
+    NaN, latency or (at write-shaped points) short-write / torn-write
+    faults at a given rate.
 
     {2 Fault-spec grammar}
 
@@ -19,7 +22,7 @@
     {v
     spec  ::= rule ("," rule)*
     rule  ::= point "=" kind (":" rate)? (":" param)?
-    kind  ::= "raise" | "nan" | "latency"
+    kind  ::= "raise" | "nan" | "latency" | "short-write" | "torn-write"
     rate  ::= firing probability in (0, 1]      (default 1)
     param ::= latency microseconds, >= 0        (default 1000)
     v}
@@ -50,6 +53,8 @@ type kind =
   | Raise  (** raise {!Injected} at the point *)
   | Nan  (** corrupt the point's float result to [nan] *)
   | Latency_us of float  (** stall the point for this many microseconds *)
+  | Short_write  (** truncate a write to a prefix (record boundary intact) *)
+  | Torn_write  (** truncate a write mid-record, as a crash would *)
 
 type rule = { point : string; kind : kind; rate : float }
 
@@ -93,6 +98,21 @@ val inject_float : string -> (unit -> float) -> float
 (** The hook for float-valued points: like {!inject}, but a fired
     [nan] fault corrupts the computed result to [Float.nan] (the
     computation still runs, so telemetry counts it). *)
+
+type write_outcome =
+  | Write_all  (** write the full buffer *)
+  | Write_short of int  (** write only this many bytes, then stop *)
+  | Write_torn of int
+      (** write only this many bytes {e and} treat the sink as severed
+          (the WAL closes the segment, as a crash mid-write would) *)
+
+val write_plan : string -> len:int -> write_outcome
+(** The hook for write-shaped points ([persist.wal.append],
+    [persist.snapshot.write]): decide the fate of an [len]-byte write
+    before it is issued.  Applies fired [latency] and [raise] rules
+    first (so those kinds work unchanged at write points); a fired
+    [torn-write] wins over a fired [short-write].  Returns
+    {!Write_all} when nothing fires or [len <= 1]. *)
 
 val injected_total : unit -> int
 (** Merged value of the [cac.fault.injected] counter — total faults

@@ -124,6 +124,25 @@ module Breaker = struct
     | Open -> "open"
     | Half_open -> "half-open"
 
+  let state_of_name = function
+    | "closed" -> Some Closed
+    | "open" -> Some Open
+    | "half-open" -> Some Half_open
+    | _ -> None
+
+  (* Restore a persisted state without telemetry: recovery re-arms a
+     breaker exactly where a snapshot left it, but the trip counters
+     must only ever reflect live failures. *)
+  let force t state =
+    t.state <- state;
+    t.failures <- 0;
+    match (state, t.mode) with
+    | Open, Evals cooldown -> t.remaining <- cooldown
+    | Open, Wall_s s ->
+        t.reopen_at_ns <-
+          Int64.add (Obs.Clock.monotonic_ns ()) (Int64.of_float (s *. 1e9))
+    | (Closed | Half_open), _ -> ()
+
   let trip t =
     t.state <- Open;
     (match t.mode with

@@ -121,4 +121,13 @@ module Breaker : sig
 
   val state_name : state -> string
   (** ["closed"], ["open"] or ["half-open"]. *)
+
+  val state_of_name : string -> state option
+  (** Inverse of {!state_name}; [None] on an unknown name. *)
+
+  val force : t -> state -> unit
+  (** [force t s] restores a persisted breaker state without touching
+      trip counters or telemetry — crash recovery re-arms a breaker
+      where the snapshot left it.  Forcing [Open] re-arms the full
+      cooldown (eval count, or wall-clock from now). *)
 end

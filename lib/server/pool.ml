@@ -12,6 +12,8 @@ type config = {
   limits : Http.limits;
   max_conn_requests : int;
   access_log : bool;
+  access_sink : (unit -> Obs.Sink.t) option;
+  tick : (unit -> unit) option;
 }
 
 let default_config =
@@ -22,6 +24,8 @@ let default_config =
     limits = Http.default_limits;
     max_conn_requests = 100_000;
     access_log = false;
+    access_sink = None;
+    tick = None;
   }
 
 (* {2 Telemetry}
@@ -134,10 +138,14 @@ let incr_requests ~route ~meth ~status =
          ])
     "srv.http.requests"
 
-(* One structured access-log line per request through the process-wide
-   human sink, so [--quiet] (a Null human sink) silences it. *)
-let access_log_line ~ctx ~req ~status ~us =
-  Obs.Sink.message (Obs.Sink.human_sink ())
+(* One structured access-log line per request.  The sink resolves per
+   line: by default the process-wide human sink (so [--quiet], a Null
+   human sink, silences it), or [config.access_sink]'s current value —
+   which is how SIGHUP-driven log rotation swaps the file under a
+   running pool without tearing requests. *)
+let access_log_line ~sink ~ctx ~req ~status ~us =
+  Obs.Sink.message
+    (match sink with None -> Obs.Sink.human_sink () | Some f -> f ())
     (Obs.Json.to_string
        (Obs.Json.Obj
           [
@@ -189,7 +197,8 @@ let handle_request t req =
   Obs.Registry.observe
     ~labels:(Obs.Labels.make [ ("route", route) ])
     "srv.http.latency_us" us;
-  if t.config.access_log then access_log_line ~ctx ~req ~status ~us;
+  if t.config.access_log then
+    access_log_line ~sink:t.config.access_sink ~ctx ~req ~status ~us;
   Http.add_header resp ("traceparent", Obs.Trace.to_traceparent ctx)
 
 (* Serve every request a connection carries, then close it.  The
@@ -306,7 +315,16 @@ let serve t listen_fd =
     in
     if Float.is_finite occupancy then
       Obs.Registry.set_gauge "srv.http.queue_occupancy" occupancy;
-    ignore (Obs.Runtime.sample ())
+    ignore (Obs.Runtime.sample ());
+    (* Daemon housekeeping (periodic snapshots, signal-driven log
+       rotation) rides the same tick; it must never kill the accept
+       loop. *)
+    match t.config.tick with
+    | None -> ()
+    | Some f ->
+        Resilience.Guard.protect ~label:"srv.pool.tick"
+          ~fallback:(fun _ -> ())
+          f
   in
   let rec accept_loop () =
     if not (stopping t) then begin

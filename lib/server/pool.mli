@@ -38,7 +38,17 @@
     carries the context back in a [traceparent] header.  With
     [config.access_log] set, each request also emits a one-line JSON
     access log ([method], [path], [status], [us], [trace]) through
-    {!Obs.Sink.human_sink}, which [--quiet] silences.
+    [config.access_sink] (resolved per line, so the daemon can rotate
+    the log on SIGHUP by swapping the sink the thunk returns); when
+    unset, {!Obs.Sink.human_sink} is used, which [--quiet] silences.
+
+    {2 Housekeeping tick}
+
+    [config.tick], when set, runs on the accept-loop domain once per
+    poll tick (~250 ms), after {!Obs.Runtime.sample}, inside
+    {!Resilience.Guard.protect} — a throwing tick is counted and
+    dropped, never fatal.  The daemon hangs periodic work off it:
+    signal-flag polling, snapshot scheduling.
 
     {2 Shutdown}
 
@@ -46,7 +56,10 @@
     notices within one 250 ms poll tick, stops accepting, enqueues one
     quit sentinel per worker {e behind} any queued connections — every
     accepted request is answered — then joins the workers and
-    returns. *)
+    returns.  Because {!serve} returns only after every worker domain
+    has joined, any work the caller does after it (e.g. a shutdown
+    snapshot) observes the final state: a request racing the drain has
+    either fully completed or was shed with 503. *)
 
 type config = {
   domains : int;  (** worker domains draining the queue *)
@@ -54,13 +67,18 @@ type config = {
   read_timeout_s : float option;  (** per-request read deadline; [None] = none *)
   limits : Http.limits;
   max_conn_requests : int;  (** keep-alive requests per connection *)
-  access_log : bool;  (** one JSON line per request on the human sink *)
+  access_log : bool;  (** one JSON line per request on the access sink *)
+  access_sink : (unit -> Obs.Sink.t) option;
+      (** access-log destination, resolved per line; [None] = human sink *)
+  tick : (unit -> unit) option;
+      (** housekeeping hook, run each accept-loop poll tick *)
 }
 
 val default_config : config
 (** [min 4 (recommended_domain_count - 1)] domains (at least 1), a
     128-connection queue, 10 s read timeout, {!Http.default_limits},
-    100k requests per connection, access log off. *)
+    100k requests per connection, access log off, no access sink
+    override, no tick hook. *)
 
 type t
 
