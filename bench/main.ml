@@ -123,6 +123,14 @@ let micro_tests () =
       (Staged.stage Obs.Clock.monotonic_ns);
     Test.make ~name:"obs_span_null_sink"
       (Staged.stage (fun () -> Obs.Span.with_ ~name:"bench.obs.span" Fun.id));
+    (* The GC-attribution read Srv.Pool brackets every request with —
+       benched with no consumer running (the events-off fast path;
+       with --events it adds one atomic load).  Starting the consumer
+       here would flip the whole bench process into multi-domain STW
+       mode and contaminate every other row. *)
+    Test.make ~name:"obs_events_pause_clock_off"
+      (Staged.stage (fun () ->
+           ignore (Sys.opaque_identity (Obs.Events.cumulative_pause_ns ()))));
     (* Serving layer: the per-request costs of the HTTP daemon.  The
        parse bench round-trips one request through a socketpair per op
        (write + buffered parse — the worker's actual read path); the

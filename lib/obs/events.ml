@@ -1,0 +1,496 @@
+(* GC-pause profiling over OCaml 5's runtime_events ring.
+
+   [Obs.Runtime] samples [Gc.quick_stat] gauges — heap size, counts —
+   but cannot say how long any collection stopped a domain, which is
+   exactly what shapes the serving daemon's p99.  This module turns
+   the ring into that profiler: a dedicated consumer domain subscribes
+   to runtime phase begin/end pairs, folds each domain's outermost
+   phase interval into a pause, and feeds per-domain pause histograms
+   and counters into the registry.  Workers read the cumulative pause
+   clock around a request to attribute tail latency to the collector
+   (see Srv.Pool).
+
+   One consumer per process (the [current] atomic); everything the
+   consumer writes goes through the registry's own sharding, so no
+   state here is shared except the per-ring atomics that workers poll. *)
+
+module Re = Runtime_events
+
+(* {2 Pause classification}
+
+   A pause is the outermost runtime-phase interval on one ring
+   (= domain): nested phases (EV_MINOR_LOCAL_ROOTS inside EV_MINOR,
+   ...) ride inside it.  The label keeps cardinality at three. *)
+
+type phase = Minor | Major | Other
+
+let phase_name = function Minor -> "minor" | Major -> "major" | Other -> "other"
+
+(* [None] = not pause time at all.  EV_DOMAIN_CONDITION_WAIT is the
+   runtime's condvar wait — a worker blocked on an empty work queue
+   sits in it for wall-clock stretches, which is idleness, not a GC
+   pause; counting it would attribute a domain's entire idle time to
+   the collector.  Likewise heap-reservation resizing is mmap
+   bookkeeping, not collection. *)
+let classify = function
+  | Re.EV_MINOR | Re.EV_MINOR_LOCAL_ROOTS | Re.EV_MINOR_FINALIZED
+  | Re.EV_MINOR_CLEAR | Re.EV_MINOR_FINALIZERS_OLDIFY
+  | Re.EV_MINOR_GLOBAL_ROOTS | Re.EV_MINOR_LEAVE_BARRIER
+  | Re.EV_MINOR_FINALIZERS_ADMIN | Re.EV_MINOR_REMEMBERED_SET
+  | Re.EV_MINOR_REMEMBERED_SET_PROMOTE | Re.EV_MINOR_LOCAL_ROOTS_PROMOTE
+  | Re.EV_EXPLICIT_GC_MINOR ->
+      Some Minor
+  | Re.EV_MAJOR | Re.EV_MAJOR_SWEEP | Re.EV_MAJOR_MARK_ROOTS
+  | Re.EV_MAJOR_MARK | Re.EV_MAJOR_EPHE_MARK | Re.EV_MAJOR_EPHE_SWEEP
+  | Re.EV_MAJOR_FINISH_MARKING | Re.EV_MAJOR_GC_CYCLE_DOMAINS
+  | Re.EV_MAJOR_GC_PHASE_CHANGE | Re.EV_MAJOR_GC_STW
+  | Re.EV_MAJOR_MARK_OPPORTUNISTIC | Re.EV_MAJOR_SLICE
+  | Re.EV_MAJOR_FINISH_CYCLE | Re.EV_MAJOR_FINISH_SWEEPING
+  | Re.EV_EXPLICIT_GC_MAJOR | Re.EV_EXPLICIT_GC_FULL_MAJOR
+  | Re.EV_EXPLICIT_GC_COMPACT | Re.EV_EXPLICIT_GC_MAJOR_SLICE ->
+      Some Major
+  | Re.EV_DOMAIN_CONDITION_WAIT | Re.EV_DOMAIN_RESIZE_HEAP_RESERVATION
+  | Re.EV_EXPLICIT_GC_SET | Re.EV_EXPLICIT_GC_STAT ->
+      None
+  | _ -> Some Other
+
+(* Minor/Major are more informative than the STW scaffolding that
+   wraps them (a minor collection runs {e inside} EV_STW_HANDLER, so
+   the outermost interval alone would always read "other"). *)
+let more_specific outer inner =
+  match (outer, inner) with Other, (Minor | Major) -> inner | _ -> outer
+
+type pause = {
+  p_domain : int;  (* ring buffer index ≈ domain id; see the mli *)
+  p_phase : phase;
+  p_dur_ns : int64;
+  p_wall : float;  (* consumer wall clock at completion *)
+}
+
+let pause_json p =
+  Json.Obj
+    [
+      ("domain", Json.Int p.p_domain);
+      ("phase", Json.String (phase_name p.p_phase));
+      ("dur_us", Json.Float (Int64.to_float p.p_dur_ns /. 1e3));
+      ("wall", Json.Float p.p_wall);
+    ]
+
+(* {2 The span bridge}
+
+   One registered user event, "cts.span", carrying (phase, name) so
+   every span name shares a single slot of the ring's 8192-event user
+   registry.  External viewers that link this library decode it by
+   name; foreign tools still see begin/end byte payloads. *)
+
+type span_event = { sp_enter : bool; sp_name : string }
+
+let encode_span buf { sp_enter; sp_name } =
+  let n = Stdlib.min (String.length sp_name) 255 in
+  Bytes.set buf 0 (if sp_enter then 'B' else 'E');
+  Bytes.blit_string sp_name 0 buf 1 n;
+  n + 1
+
+let decode_span buf len =
+  {
+    sp_enter = len > 0 && Bytes.get buf 0 = 'B';
+    sp_name = (if len <= 1 then "" else Bytes.sub_string buf 1 (len - 1));
+  }
+
+let span_type : span_event Re.Type.t =
+  Re.Type.register ~encode:encode_span ~decode:decode_span
+
+type Re.User.tag += Cts_span
+
+let span_user : span_event Re.User.t =
+  Re.User.register "cts.span" Cts_span span_type
+
+let write_span ~name ~enter =
+  Re.User.write span_user { sp_enter = enter; sp_name = name }
+
+(* {2 Ring resolution}
+
+   Events are keyed by ring buffer index, and the runtime recycles
+   ring slots when domains die while [Domain.self] ids are never
+   reused — so in a process that has ever joined a domain, a worker's
+   id and its ring index diverge and "read my own ring's pause clock"
+   needs a real mapping.  The handshake: an unresolved domain writes
+   the "cts.ring" user event carrying its id; the event necessarily
+   lands on that domain's own ring, so the consumer observes (ring,
+   id) together and records the mapping.  Resolution costs one poll
+   interval once per domain; until then the identity fallback serves
+   (exact for processes that never join domains, like the daemon). *)
+
+let ring_id_type : int Re.Type.t =
+  Re.Type.register
+    ~encode:(fun buf id ->
+      Bytes.set_int64_le buf 0 (Int64.of_int id);
+      8)
+    ~decode:(fun buf len ->
+      if len >= 8 then Int64.to_int (Bytes.get_int64_le buf 0) else -1)
+
+type Re.User.tag += Cts_ring
+
+let ring_user : int Re.User.t = Re.User.register "cts.ring" Cts_ring ring_id_type
+
+(* domain id -> ring index, an immutable assoc list swapped by CAS.
+   Entries never go stale (a live domain's ring never changes, dead
+   domains' ids are never asked for again) and each domain looks its
+   id up at most a handful of times before DLS-caching the answer, so
+   list lookup is fine. *)
+let ring_of_domain : (int * int) list Atomic.t = Atomic.make []
+
+let rec resolve_ring ~ring ~id =
+  if id >= 0 then begin
+    let cur = Atomic.get ring_of_domain in
+    if not (List.mem_assoc id cur) then
+      if not (Atomic.compare_and_set ring_of_domain cur ((id, ring) :: cur))
+      then resolve_ring ~ring ~id
+  end
+
+let resolved_ring : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* The calling domain's ring index: DLS-cached once resolved; before
+   that, (re)send the handshake and fall back to the identity map. *)
+let my_ring () =
+  let cache = Domain.DLS.get resolved_ring in
+  match !cache with
+  | Some r -> r
+  | None -> (
+      let id = (Domain.self () :> int) in
+      match List.assoc_opt id (Atomic.get ring_of_domain) with
+      | Some r ->
+          cache := Some r;
+          r
+      | None ->
+          (try Re.User.write ring_user id with _ -> ());
+          id)
+
+(* {2 Pause tracking}
+
+   Shared by the in-process consumer and the cross-process CLI
+   tooling: per-ring nesting depth, outermost begin timestamp, and
+   the classification of the phase that opened it.  A consumer that
+   attaches mid-phase sees an unmatched end; depth stays at zero and
+   the partial interval is dropped rather than mis-measured. *)
+
+module Tracker = struct
+  type ring_state = {
+    mutable depth : int;
+    mutable t0 : int64;
+    mutable outer : phase;
+  }
+
+  type t = { states : (int, ring_state) Hashtbl.t; on_pause : pause -> unit }
+
+  let create ~on_pause () = { states = Hashtbl.create 8; on_pause }
+
+  let state t ring =
+    match Hashtbl.find_opt t.states ring with
+    | Some s -> s
+    | None ->
+        let s = { depth = 0; t0 = 0L; outer = Other } in
+        Hashtbl.replace t.states ring s;
+        s
+
+  (* Ignored phases skip depth accounting on both sides (the same
+     constructor is ignored at begin and end, so nesting stays
+     balanced). *)
+  let phase_begin t ring ts ph =
+    match classify ph with
+    | None -> ()
+    | Some cls ->
+        let s = state t ring in
+        if s.depth = 0 then begin
+          s.t0 <- Re.Timestamp.to_int64 ts;
+          s.outer <- cls
+        end
+        else s.outer <- more_specific s.outer cls;
+        s.depth <- s.depth + 1
+
+  let phase_end t ring ts ph =
+    match classify ph with
+    | None -> ()
+    | Some _ ->
+        let s = state t ring in
+        if s.depth > 0 then begin
+          s.depth <- s.depth - 1;
+          if s.depth = 0 then begin
+            let dur = Int64.sub (Re.Timestamp.to_int64 ts) s.t0 in
+            if Int64.compare dur 0L > 0 then
+              t.on_pause
+                {
+                  p_domain = ring;
+                  p_phase = s.outer;
+                  p_dur_ns = dur;
+                  p_wall = Clock.wall ();
+                }
+          end
+        end
+
+  let callbacks ?on_span ?on_lost t =
+    let base =
+      Re.Callbacks.create ~runtime_begin:(phase_begin t)
+        ~runtime_end:(phase_end t)
+        ?lost_events:on_lost ()
+    in
+    match on_span with
+    | None -> base
+    | Some f ->
+        Re.Callbacks.add_user_event span_type
+          (fun ring _ts _ev payload ->
+            f ~ring ~name:payload.sp_name ~enter:payload.sp_enter)
+          base
+end
+
+(* {2 Registry schema}
+
+   Declared at module load so /metrics carries the names before the
+   first pause.  The histogram covers 0–50 ms in µs: anything longer
+   than a major slice budget overflows, which is itself the signal. *)
+
+let () =
+  Registry.declare_histogram ~lo:0.0 ~hi:50_000.0 ~bins:50
+    "runtime.ev.gc.pause.us";
+  Registry.declare_counter "runtime.ev.gc.pauses";
+  Registry.declare_counter "runtime.ev.gc.pause_ns";
+  Registry.declare_counter "runtime.ev.lost_events"
+
+(* {2 The in-process consumer} *)
+
+(* OCaml's runtime supports at most 128 live domains; ring indices
+   stay below that. *)
+let max_rings = 128
+
+type t = {
+  c_stop : bool Atomic.t;
+  c_domain : unit Domain.t;
+  c_pause_ns : int Atomic.t array;  (* cumulative, per ring *)
+  c_pause_count : int Atomic.t array;
+  c_top : pause list ref;  (* guarded by c_top_mutex, length <= top_capacity *)
+  c_top_mutex : Mutex.t;
+  c_poll_interval_s : float;
+  c_bridge : bool;
+}
+
+let top_capacity = 32
+
+let current : t option Atomic.t = Atomic.make None
+
+let running () = Atomic.get current <> None
+
+(* Record one pause: per-ring atomics for request attribution, the
+   registry for exports, the bounded top list for /profile.  Runs on
+   the consumer domain only. *)
+let record ~pause_ns ~pause_count ~top ~top_mutex p =
+  if p.p_domain >= 0 && p.p_domain < max_rings then begin
+    ignore
+      (Atomic.fetch_and_add pause_ns.(p.p_domain)
+         (Int64.to_int p.p_dur_ns));
+    ignore (Atomic.fetch_and_add pause_count.(p.p_domain) 1)
+  end;
+  let labels =
+    Labels.make
+      [
+        ("domain", string_of_int p.p_domain);
+        ("phase", phase_name p.p_phase);
+      ]
+  in
+  let us = Int64.to_float p.p_dur_ns /. 1e3 in
+  if Float.is_finite us then
+    Registry.observe ~labels "runtime.ev.gc.pause.us" us;
+  Registry.incr ~labels "runtime.ev.gc.pauses";
+  Registry.incr
+    ~labels:(Labels.make [ ("domain", string_of_int p.p_domain) ])
+    ~by:(Stdlib.max 0 (Int64.to_int p.p_dur_ns))
+    "runtime.ev.gc.pause_ns";
+  Mutex.protect top_mutex (fun () ->
+      let merged =
+        List.sort
+          (fun a b -> Int64.compare b.p_dur_ns a.p_dur_ns)
+          (p :: !top)
+      in
+      top := List.filteri (fun i _ -> i < top_capacity) merged)
+
+let default_poll_interval_s = 0.005
+
+let start ?(poll_interval_s = default_poll_interval_s) ?(bridge = false) () =
+  if not (Float.is_finite poll_interval_s && poll_interval_s > 0.0) then
+    invalid_arg "Obs.Events.start: poll_interval_s must be finite and > 0";
+  match Atomic.get current with
+  | Some t -> t
+  | None ->
+      Re.start ();
+      Re.resume ();
+      let stop_flag = Atomic.make false in
+      let pause_ns = Array.init max_rings (fun _ -> Atomic.make 0) in
+      let pause_count = Array.init max_rings (fun _ -> Atomic.make 0) in
+      let top = ref [] in
+      let top_mutex = Mutex.create () in
+      let domain =
+        Domain.spawn (fun () ->
+            (* An escaping exception would strand [stop] in
+               [Domain.join]-after-death confusion; the consumer dies
+               quietly and [stop] still joins it.  (This library sits
+               below Resilience, so no Guard here.) *)
+            try
+              (* The cursor lives and dies on the consumer domain. *)
+              let cursor = Re.create_cursor None in
+              let tracker =
+                Tracker.create
+                  ~on_pause:(record ~pause_ns ~pause_count ~top ~top_mutex)
+                  ()
+              in
+              let callbacks =
+                Re.Callbacks.add_user_event ring_id_type
+                  (fun ring _ts _ev id -> resolve_ring ~ring ~id)
+                  (Tracker.callbacks
+                     ~on_lost:(fun _ring n ->
+                       Registry.incr ~by:(Stdlib.max 0 n)
+                         "runtime.ev.lost_events")
+                     tracker)
+              in
+              (* No condition variables: the stop flag is polled
+                 between sleeps, so a stop can never be a lost wakeup
+                 — worst case it waits one poll interval. *)
+              let rec loop () =
+                ignore (Re.read_poll cursor callbacks None);
+                if not (Atomic.get stop_flag) then begin
+                  Unix.sleepf poll_interval_s;
+                  loop ()
+                end
+              in
+              loop ();
+              (* Final drain so pauses completed before [stop] are
+                 never lost. *)
+              ignore (Re.read_poll cursor callbacks None);
+              Re.free_cursor cursor
+            with _ -> ())
+      in
+      let t =
+        {
+          c_stop = stop_flag;
+          c_domain = domain;
+          c_pause_ns = pause_ns;
+          c_pause_count = pause_count;
+          c_top = top;
+          c_top_mutex = top_mutex;
+          c_poll_interval_s = poll_interval_s;
+          c_bridge = bridge;
+        }
+      in
+      if bridge then
+        Span.set_ring_bridge (Some (fun name enter -> write_span ~name ~enter));
+      Atomic.set current (Some t);
+      t
+
+let stop t =
+  if not (Atomic.exchange t.c_stop true) then begin
+    if t.c_bridge then Span.set_ring_bridge None;
+    Domain.join t.c_domain;
+    Atomic.set current None;
+    (* Leave the ring allocated (start is sticky in the runtime) but
+       stop paying for event generation until the next [start]. *)
+    Re.pause ()
+  end
+
+let with_consumer f default =
+  match Atomic.get current with None -> default | Some t -> f t
+
+let domain_pause_ns ~domain =
+  with_consumer
+    (fun t ->
+      if domain >= 0 && domain < max_rings then
+        Atomic.get t.c_pause_ns.(domain)
+      else 0)
+    0
+
+(* Short-circuit before [my_ring]: with no consumer there is nobody
+   to answer the handshake, and the off path should cost one atomic
+   load, not a DLS lookup plus a dead ring write. *)
+let cumulative_pause_ns () =
+  with_consumer (fun _ -> domain_pause_ns ~domain:(my_ring ())) 0
+
+let domain_stats () =
+  with_consumer
+    (fun t ->
+      let out = ref [] in
+      for d = max_rings - 1 downto 0 do
+        let n = Atomic.get t.c_pause_count.(d) in
+        if n > 0 then
+          out := (d, n, Atomic.get t.c_pause_ns.(d)) :: !out
+      done;
+      !out)
+    []
+
+let top_pauses () =
+  with_consumer
+    (fun t -> Mutex.protect t.c_top_mutex (fun () -> !(t.c_top)))
+    []
+
+(* The runtime snapshots OCAML_RUNTIME_EVENTS_DIR at process startup
+   — a later [Unix.putenv] changes what [Sys.getenv] answers but not
+   where the ring went.  Prefer whichever candidate actually exists
+   so the reported path matches the file on disk. *)
+let ring_file () =
+  let name = string_of_int (Unix.getpid ()) ^ ".events" in
+  let candidates =
+    (match Sys.getenv_opt "OCAML_RUNTIME_EVENTS_DIR" with
+    | Some d when d <> "" -> [ Filename.concat d name ]
+    | _ -> [])
+    @ [ Filename.concat Filename.current_dir_name name ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let debug_json () =
+  with_consumer
+    (fun t ->
+      Json.Obj
+        [
+          ("running", Json.Bool true);
+          ("poll_interval_s", Json.Float t.c_poll_interval_s);
+          ("span_bridge", Json.Bool t.c_bridge);
+          ("ring_file", Json.String (ring_file ()));
+          ( "domains",
+            Json.List
+              (List.map
+                 (fun (d, n, ns) ->
+                   Json.Obj
+                     [
+                       ("domain", Json.Int d);
+                       ("pauses", Json.Int n);
+                       ("pause_ns", Json.Int ns);
+                     ])
+                 (domain_stats ())) );
+        ])
+    (Json.Obj [ ("running", Json.Bool false) ])
+
+(* {2 Cross-process attachment}
+
+   [cts events tail|stat] consume a live daemon's [PID.events] file
+   without restarting it: same tracker, a cursor over someone else's
+   ring.  The CLI owns pacing and printing; this module owns decoding. *)
+
+type remote = { r_cursor : Re.cursor; r_callbacks : Re.Callbacks.t }
+
+let attach ~dir ~pid ?on_pause ?on_span ?on_lost () =
+  let on_pause = match on_pause with Some f -> f | None -> fun _ -> () in
+  match Re.create_cursor (Some (dir, pid)) with
+  | cursor ->
+      let tracker = Tracker.create ~on_pause () in
+      Ok
+        {
+          r_cursor = cursor;
+          r_callbacks = Tracker.callbacks ?on_span ?on_lost tracker;
+        }
+  | exception e ->
+      Error
+        (Printf.sprintf "cannot attach to %s/%d.events: %s" dir pid
+           (Printexc.to_string e))
+
+let poll remote = Re.read_poll remote.r_cursor remote.r_callbacks None
+
+let detach remote = Re.free_cursor remote.r_cursor

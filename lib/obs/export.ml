@@ -92,6 +92,9 @@ let prometheus (snap : Registry.snapshot) =
         (Printf.sprintf "%s_count%s %d\n" pname (prom_labels labels)
            h.Registry.count))
     snap.Registry.histograms;
+  (* OpenMetrics end-of-exposition marker; a comment to plain-0.0.4
+     parsers, the required terminator for strict scrapers. *)
+  Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
 (* {2 JSON document} *)
@@ -169,10 +172,20 @@ let text (snap : Registry.snapshot) =
           if h.Registry.count = 0 then "-"
           else Printf.sprintf "%.2f" (h.Registry.sum /. float_of_int h.Registry.count)
         in
+        let quantiles =
+          if h.Registry.count = 0 then ""
+          else
+            let q p =
+              match Registry.histogram_quantile h ~q:p with
+              | Some v -> Printf.sprintf "%.2f" v
+              | None -> "-"
+            in
+            Printf.sprintf " p50=%s p95=%s p99=%s" (q 0.5) (q 0.95) (q 0.99)
+        in
         Buffer.add_string buf
-          (Printf.sprintf "  %-48s n=%d mean=%s range=[%g,%g) over=%d\n"
-             (key_string key) h.Registry.count mean h.Registry.hlo h.Registry.hhi
-             h.Registry.overflow))
+          (Printf.sprintf "  %-48s n=%d mean=%s%s range=[%g,%g) over=%d\n"
+             (key_string key) h.Registry.count mean quantiles h.Registry.hlo
+             h.Registry.hhi h.Registry.overflow))
       snap.Registry.histograms
   end;
   Buffer.contents buf

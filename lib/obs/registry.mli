@@ -133,6 +133,14 @@ val snapshot_age_s : unit -> float option
     process, or [None] if one was never taken.  [/healthz] uses this
     to report how stale the exported view is. *)
 
+val histogram_quantile : histogram_snapshot -> q:float -> float option
+(** The [q]-quantile of a binned histogram by linear interpolation
+    inside the bin holding the [q]-th observation ([q] in [[0, 1]],
+    else [Invalid_argument]; [None] on an empty histogram).
+    Out-of-range mass clamps to the nearest edge: underflow reports
+    [hlo], overflow reports [hhi] — the tightest bound the bins can
+    honestly give. *)
+
 val counter_value : ?labels:Labels.t -> string -> int
 (** Merged value across all shards; 0 if never updated. *)
 

@@ -45,11 +45,19 @@ let () =
   Obs.Registry.declare_gauge "srv.http.queue_depth";
   Obs.Registry.declare_gauge "srv.http.queue_occupancy";
   Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:1_000_000.0 ~bins:60
-    "srv.http.latency_us"
+    "srv.http.latency_us";
+  Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:1_000_000.0 ~bins:60
+    "srv.http.queue_wait.us";
+  Obs.Registry.set_histogram_spec ~lo:0.0 ~hi:100_000.0 ~bins:50
+    "srv.http.gc_pause.us"
 
-(* {2 Bounded work queue} *)
+(* {2 Bounded work queue}
 
-type job = Conn of Unix.file_descr | Quit
+   [Conn] carries its enqueue timestamp so the worker that pops it can
+   charge the time spent queued to the request it serves — the
+   queue-wait leg of the [/profile] latency decomposition. *)
+
+type job = Conn of Unix.file_descr * int64 | Quit
 
 type queue = {
   q : job Queue.t;
@@ -143,7 +151,7 @@ let incr_requests ~route ~meth ~status =
    human sink, silences it), or [config.access_sink]'s current value —
    which is how SIGHUP-driven log rotation swaps the file under a
    running pool without tearing requests. *)
-let access_log_line ~sink ~ctx ~req ~status ~us =
+let access_log_line ~sink ~ctx ~req ~status ~us ~queue_wait_us ~gc_pause_us =
   Obs.Sink.message
     (match sink with None -> Obs.Sink.human_sink () | Some f -> f ())
     (Obs.Json.to_string
@@ -155,6 +163,8 @@ let access_log_line ~sink ~ctx ~req ~status ~us =
             ("path", Obs.Json.String req.Http.path);
             ("status", Obs.Json.Int status);
             ("us", Obs.Json.Float us);
+            ("queue_wait_us", Obs.Json.Float queue_wait_us);
+            ("gc_pause_us", Obs.Json.Float gc_pause_us);
             ("trace", Obs.Json.String ctx.Obs.Trace.trace_id);
           ]))
 
@@ -168,9 +178,14 @@ let access_log_line ~sink ~ctx ~req ~status ~us =
    [srv.http.request] span, every span the handler opens, and every
    histogram exemplar recorded on this domain share one trace id; the
    response echoes it in [traceparent]. *)
-let handle_request t req =
+let handle_request t ~queue_wait_us req =
   Obs.Registry.add_gauge "srv.http.in_flight" 1.0;
   let t0 = Obs.Clock.monotonic_ns () in
+  (* GC attribution: the consumer's cumulative pause clock for this
+     worker domain, read on both sides of the dispatch.  The delta is
+     collector time that overlapped this request (late by at most one
+     consumer poll interval; 0 when no [Obs.Events] consumer runs). *)
+  let gc0 = Obs.Events.cumulative_pause_ns () in
   Fun.protect ~finally:(fun () ->
       Obs.Registry.add_gauge "srv.http.in_flight" (-1.0))
   @@ fun () ->
@@ -194,11 +209,22 @@ let handle_request t req =
   let status = Http.status resp in
   incr_requests ~route ~meth:(Http.meth_name req.Http.meth) ~status;
   let us = Obs.Clock.ns_to_us (Obs.Clock.elapsed_ns ~since:t0) in
-  Obs.Registry.observe
-    ~labels:(Obs.Labels.make [ ("route", route) ])
-    "srv.http.latency_us" us;
+  let gc_pause_us =
+    let us = float_of_int (Obs.Events.cumulative_pause_ns () - gc0) /. 1e3 in
+    (* A consumer stopping mid-request can make the delta negative;
+       clamp rather than poison the histogram. *)
+    if Float.is_finite us && us >= 0.0 then us else 0.0
+  in
+  let route_labels = Obs.Labels.make [ ("route", route) ] in
+  Obs.Registry.observe ~labels:route_labels "srv.http.latency_us" us;
+  Obs.Registry.observe ~labels:route_labels "srv.http.queue_wait.us"
+    queue_wait_us;
+  if Obs.Events.running () then
+    Obs.Registry.observe ~labels:route_labels "srv.http.gc_pause.us"
+      gc_pause_us;
   if t.config.access_log then
-    access_log_line ~sink:t.config.access_sink ~ctx ~req ~status ~us;
+    access_log_line ~sink:t.config.access_sink ~ctx ~req ~status ~us
+      ~queue_wait_us ~gc_pause_us;
   Http.add_header resp ("traceparent", Obs.Trace.to_traceparent ctx)
 
 (* Serve every request a connection carries, then close it.  The
@@ -206,7 +232,7 @@ let handle_request t req =
    the read deadline bounds how long a worker waits for (the rest of)
    a request.  Peer write failures (reset, broken pipe) just end the
    connection. *)
-let serve_connection t fd =
+let serve_connection t ~queue_wait_us fd =
   Obs.Registry.incr "srv.http.connections";
   let reader = Io.reader fd in
   let budget =
@@ -214,6 +240,9 @@ let serve_connection t fd =
       t.config.max_conn_requests
   in
   let deadline () = Option.bind t.config.read_timeout_s (fun s -> Io.deadline_in s) in
+  (* Only the connection's first request actually waited in the work
+     queue; keep-alive successors are served as they arrive. *)
+  let pending_wait = ref queue_wait_us in
   let rec loop () =
     match Resilience.Guard.Budget.tick budget with
     | exception Resilience.Guard.Budget_exhausted _ -> ()
@@ -226,7 +255,9 @@ let serve_connection t fd =
             Http.write fd ~keep_alive:false
               (Http.json_error ~status reason)
         | Http.Request req ->
-            let resp = handle_request t req in
+            let queue_wait_us = !pending_wait in
+            pending_wait := 0.0;
+            let resp = handle_request t ~queue_wait_us req in
             let ka =
               Http.keep_alive req
               && (not (stopping t))
@@ -288,14 +319,18 @@ let serve t listen_fd =
             let rec work () =
               match queue_pop t.work with
               | Quit -> ()
-              | Conn fd ->
+              | Conn (fd, enqueued_ns) ->
+                  let queue_wait_us =
+                    Obs.Clock.ns_to_us
+                      (Obs.Clock.elapsed_ns ~since:enqueued_ns)
+                  in
                   (* A handler that raises must cost one response,
                      never the worker domain: an escaping exception
                      here would silently shrink the pool until the
                      final [Domain.join]. *)
                   Resilience.Guard.protect ~label:"srv.pool.worker"
                     ~fallback:(fun _ -> ())
-                    (fun () -> serve_connection t fd);
+                    (fun () -> serve_connection t ~queue_wait_us fd);
                   work ()
             in
             work ()))
@@ -337,7 +372,12 @@ let serve t listen_fd =
           match Unix.accept listen_fd with
           | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
               ()
-          | fd, _ -> if not (queue_push t.work (Conn fd)) then shed fd)
+          | fd, _ ->
+              if
+                not
+                  (queue_push t.work
+                     (Conn (fd, Obs.Clock.monotonic_ns ())))
+              then shed fd)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
     end

@@ -21,13 +21,17 @@
     {2 Telemetry}
 
     [srv.http.requests] (total and per
-    [{route,method,status}]), [srv.http.latency_us] per route,
-    [srv.http.in_flight], [srv.http.queue_depth],
-    [srv.http.queue_occupancy] (depth / capacity),
-    [srv.http.connections], [srv.http.shed], [srv.http.parse_errors],
-    [srv.http.handler_errors], plus the [srv.http.request] span.
-    The accept loop additionally runs {!Obs.Runtime.sample} once per
-    poll tick (it is the process's single runtime-gauge writer).
+    [{route,method,status}]), [srv.http.latency_us] and
+    [srv.http.queue_wait.us] per route, [srv.http.in_flight],
+    [srv.http.queue_depth], [srv.http.queue_occupancy] (depth /
+    capacity), [srv.http.connections], [srv.http.shed],
+    [srv.http.parse_errors], [srv.http.handler_errors], plus the
+    [srv.http.request] span.  When an {!Obs.Events} consumer runs,
+    each request's GC overlap — the delta of
+    {!Obs.Events.cumulative_pause_ns} across its dispatch — is
+    recorded as [srv.http.gc_pause.us] per route.  The accept loop
+    additionally runs {!Obs.Runtime.sample} once per poll tick (it is
+    the process's single runtime-gauge writer).
 
     {2 Trace correlation}
 
@@ -37,7 +41,8 @@
     histogram exemplars it produces share one trace id.  The response
     carries the context back in a [traceparent] header.  With
     [config.access_log] set, each request also emits a one-line JSON
-    access log ([method], [path], [status], [us], [trace]) through
+    access log ([method], [path], [status], [us], [queue_wait_us],
+    [gc_pause_us], [trace]) through
     [config.access_sink] (resolved per line, so the daemon can rotate
     the log on SIGHUP by swapping the sink the thunk returns); when
     unset, {!Obs.Sink.human_sink} is used, which [--quiet] silences.
@@ -110,7 +115,9 @@ val accepting : t -> bool
 val queue_length : t -> int
 (** Connections accepted but not yet claimed by a worker. *)
 
-val serve_connection : t -> Unix.file_descr -> unit
+val serve_connection : t -> queue_wait_us:float -> Unix.file_descr -> unit
 (** Serve one connection synchronously on the calling domain (the
-    worker body; exposed for socketpair-driven tests).  Closes [fd]
-    before returning. *)
+    worker body; exposed for socketpair-driven tests).  [queue_wait_us]
+    is the time the connection sat in the work queue; it is charged to
+    the connection's {e first} request (later keep-alive requests
+    never queued).  Closes [fd] before returning. *)

@@ -30,6 +30,7 @@ let () =
       ("cac", Test_cac.suite);
       ("resilience", Test_resilience.suite);
       ("server", Test_server.suite);
+      ("events", Test_events.suite);
       ("persist", Test_persist.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);

@@ -680,11 +680,76 @@ let test_prometheus_golden () =
         "test_lat_us_bucket{le=\"+Inf\"} 4";
         "test_lat_us_sum 48";
         "test_lat_us_count 4";
+        "# EOF";
         "";
       ]
   in
   Alcotest.(check string) "exposition matches" expected
     (Obs.Export.prometheus snap)
+
+(* {2 Histogram quantiles} *)
+
+let quantile_fixture ?(underflow = 0) ?(overflow = 0) counts =
+  let count =
+    underflow + overflow + Array.fold_left ( + ) 0 counts
+  in
+  {
+    Obs.Registry.hlo = 0.0;
+    hhi = float_of_int (Array.length counts * 10);
+    counts;
+    underflow;
+    overflow;
+    sum = 0.0;
+    count;
+    exemplar = None;
+  }
+
+let quantile h q =
+  match Obs.Registry.histogram_quantile h ~q with
+  | Some v -> v
+  | None -> Alcotest.fail "quantile on non-empty histogram returned None"
+
+let test_quantile_interpolation () =
+  (* 10 observations spread uniformly in one bin [10, 20): the median
+     interpolates to the bin midpoint's position. *)
+  let h = quantile_fixture [| 0; 10; 0 |] in
+  check_close "p50 interpolates inside the bin" 15.0 (quantile h 0.5);
+  check_close "p10 sits near the bin's left edge" 11.0 (quantile h 0.1);
+  check_close "p100 is the bin's right edge" 20.0 (quantile h 1.0);
+  (* Mass split across bins: 4 in [0,10), 4 in [10,20), 2 in [20,30). *)
+  let h = quantile_fixture [| 4; 4; 2 |] in
+  check_close "p25 lands mid first bin" 6.25 (quantile h 0.25);
+  check_close "p50 is the first-bin boundary" 12.5 (quantile h 0.5);
+  check_close "p90 reaches the last bin" 25.0 (quantile h 0.9)
+
+let test_quantile_edges () =
+  (match
+     Obs.Registry.histogram_quantile (quantile_fixture [| 0; 0 |]) ~q:0.5
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty histogram must yield None");
+  (* Out-of-range mass clamps to the nearest representable edge. *)
+  let h = quantile_fixture ~underflow:6 [| 2; 2 |] in
+  check_close "underflow mass reports lo" 0.0 (quantile h 0.5);
+  let h = quantile_fixture ~overflow:6 [| 2; 2 |] in
+  check_close "overflow mass reports hi" 20.0 (quantile h 0.9);
+  List.iter
+    (fun q ->
+      match Obs.Registry.histogram_quantile (quantile_fixture [| 1 |]) ~q with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "q=%g must raise Invalid_argument" q)
+    [ -0.1; 1.5; Float.nan ]
+
+let test_text_export_quantiles () =
+  let name = "test.obs.quantile_text.us" in
+  Obs.Registry.declare_histogram ~lo:0.0 ~hi:100.0 ~bins:10 name;
+  for _ = 1 to 10 do
+    Obs.Registry.observe name 15.0
+  done;
+  let out = Obs.Export.text (Obs.Registry.snapshot ()) in
+  check_true "text export carries p50/p95/p99"
+    (contains_substring out "p50=" && contains_substring out "p95="
+   && contains_substring out "p99=")
 
 let test_export_json_keys () =
   Obs.Registry.incr ~by:5 "test.obs.export_key";
@@ -728,4 +793,7 @@ let suite =
     case "sink: jsonl message round-trip" test_jsonl_message_roundtrip;
     case "prometheus: golden exposition" test_prometheus_golden;
     case "export: json document keys" test_export_json_keys;
+    case "quantile: linear interpolation" test_quantile_interpolation;
+    case "quantile: empty, clamps, domain errors" test_quantile_edges;
+    case "export: text mode carries quantiles" test_text_export_quantiles;
   ]

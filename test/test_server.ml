@@ -236,7 +236,7 @@ let test_round_trip_keep_alive () =
   let config = { Pool.default_config with domains = 1 } in
   let pool = Pool.create ~config (make_router ()) in
   with_socketpair (fun client server ->
-      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool ~queue_wait_us:0.0 server) in
       Fun.protect
         ~finally:(fun () -> ignore (Domain.join worker))
         (fun () ->
@@ -274,7 +274,7 @@ let test_connection_answers_parse_error () =
   in
   let errors_before = Obs.Registry.counter_value "srv.http.parse_errors" in
   with_socketpair (fun client server ->
-      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool ~queue_wait_us:0.0 server) in
       Fun.protect
         ~finally:(fun () -> ignore (Domain.join worker))
         (fun () ->
@@ -299,7 +299,7 @@ let test_handler_exception_contained () =
   in
   let pool = Pool.create ~config:{ Pool.default_config with domains = 1 } router in
   with_socketpair (fun client server ->
-      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool ~queue_wait_us:0.0 server) in
       Fun.protect
         ~finally:(fun () -> ignore (Domain.join worker))
         (fun () ->
@@ -409,7 +409,7 @@ let with_api ?(links = [ ("oc3", 16140.0, 20.0) ]) f =
 let serve_bytes router ~requests =
   let pool = Pool.create ~config:{ Pool.default_config with domains = 1 } router in
   with_socketpair (fun client server ->
-      let worker = Domain.spawn (fun () -> Pool.serve_connection pool server) in
+      let worker = Domain.spawn (fun () -> Pool.serve_connection pool ~queue_wait_us:0.0 server) in
       Fun.protect
         ~finally:(fun () -> ignore (Domain.join worker))
         (fun () ->
@@ -541,7 +541,7 @@ let test_access_log () =
           let pool = Pool.create ~config (make_router ()) in
           with_socketpair (fun client server ->
               let worker =
-                Domain.spawn (fun () -> Pool.serve_connection pool server)
+                Domain.spawn (fun () -> Pool.serve_connection pool ~queue_wait_us:0.0 server)
               in
               Fun.protect
                 ~finally:(fun () -> ignore (Domain.join worker))
@@ -562,9 +562,83 @@ let test_access_log () =
           check_true "trace id logged"
             (match f "trace" with
             | Some (String tid) -> String.length tid = 32
-            | _ -> false)
+            | _ -> false);
+          (* JSON integral floats parse back as Int — accept both. *)
+          let non_negative = function
+            | Some (Obs.Json.Float us) -> us >= 0.0
+            | Some (Obs.Json.Int us) -> us >= 0
+            | _ -> false
+          in
+          check_true "queue wait logged" (non_negative (f "queue_wait_us"));
+          check_true "gc pause logged" (non_negative (f "gc_pause_us"))
       | lines ->
           Alcotest.failf "expected one access line, got %d" (List.length lines))
+
+(* The per-request GC attribution loop: a handler that provokes a full
+   major and then outlives the consumer's poll interval must see its
+   own pause land in [srv.http.gc_pause.us{route}].  Attribution lags
+   by at most one poll interval, hence the in-handler sleep and the
+   retry loop for the nonzero-sum half. *)
+let test_gc_attribution () =
+  let ev = Obs.Events.start ~poll_interval_s:0.001 () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Events.stop ev)
+    (fun () ->
+      let router =
+        Router.create
+          [
+            Router.route Http.GET "/gcburn" (fun _ ->
+                let junk = ref [] in
+                for i = 1 to 200_000 do
+                  junk := float_of_int i :: !junk
+                done;
+                ignore (Sys.opaque_identity !junk);
+                junk := [];
+                Gc.full_major ();
+                Unix.sleepf 0.01;
+                Http.text "burned");
+          ]
+      in
+      let config = { Pool.default_config with domains = 1 } in
+      let pool = Pool.create ~config router in
+      let labels = Obs.Labels.make [ ("route", "/gcburn") ] in
+      let snap () =
+        Obs.Registry.histogram_snapshot ~labels "srv.http.gc_pause.us"
+      in
+      let before =
+        match snap () with Some h -> h.Obs.Registry.count | None -> 0
+      in
+      let fire () =
+        with_socketpair (fun client server ->
+            let worker =
+              Domain.spawn (fun () ->
+                  Pool.serve_connection pool ~queue_wait_us:0.0 server)
+            in
+            Fun.protect
+              ~finally:(fun () -> ignore (Domain.join worker))
+              (fun () ->
+                Io.write_string client
+                  "GET /gcburn HTTP/1.1\r\nconnection: close\r\n\r\n";
+                let st, _, _ = read_response (Io.reader client) in
+                check_int "request served" 200 st))
+      in
+      fire ();
+      (match snap () with
+      | Some h ->
+          check_true "gc_pause observed for every request with events on"
+            (h.Obs.Registry.count > before)
+      | None -> Alcotest.fail "srv.http.gc_pause.us never created");
+      let rec until_nonzero n =
+        if n <= 0 then
+          Alcotest.fail "attributed gc pause time stayed zero across 20 requests"
+        else
+          match snap () with
+          | Some h when h.Obs.Registry.sum > 0.0 -> ()
+          | _ ->
+              fire ();
+              until_nonzero (n - 1)
+      in
+      until_nonzero 20)
 
 let test_debug_vars () =
   with_api @@ fun api ->
@@ -760,6 +834,8 @@ let suite =
     case "trace: one decide, one correlated span tree"
       test_trace_correlation_jsonl;
     case "access log: one JSON line per request" test_access_log;
+    case "gc attribution: handler pauses land in srv.http.gc_pause.us"
+      test_gc_attribution;
     case "debug vars: gc, clock and providers" test_debug_vars;
     case "healthz: snapshot age and collector liveness"
       test_healthz_liveness_fields;
